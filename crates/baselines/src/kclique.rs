@@ -1,0 +1,221 @@
+//! k-Clique community search (clique percolation, Cui et al. SIGMOD'13 /
+//! Yuan et al. TKDE'17) — the fourth pre-defined pattern in the paper's
+//! taxonomy of inflexible community models (§1: k-core, k-truss,
+//! k-clique, k-ECC). Not part of the paper's evaluated baselines; kept
+//! here so the substrate covers the whole taxonomy, and exercised by the
+//! `extras` ablations and tests.
+//!
+//! A k-clique community is the union of all k-cliques reachable from a
+//! k-clique containing the query through chains of k-cliques that
+//! overlap in k−1 vertices. As the paper notes, the pattern is usually
+//! *too tight*: high k returns tiny answers, low k floods.
+
+use std::collections::VecDeque;
+
+use qdgnn_data::Query;
+use qdgnn_graph::{core_decomp, AttributedGraph, Graph, VertexId};
+
+use crate::CommunityMethod;
+
+/// Enumeration guard: maximum number of k-cliques materialized per
+/// search (the pattern explodes combinatorially on dense graphs; hitting
+/// the cap falls back to a smaller k).
+pub const MAX_CLIQUES: usize = 200_000;
+
+/// The k-clique percolation method.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KClique {
+    /// Upper bound on the clique size tried (0 = derive from the query's
+    /// core number).
+    pub max_k: usize,
+}
+
+impl KClique {
+    /// Creates the method with automatic k selection.
+    pub fn new() -> Self {
+        KClique { max_k: 0 }
+    }
+
+    /// All k-cliques (ascending vertex order) in the subgraph induced by
+    /// `allowed`, up to [`MAX_CLIQUES`]; `None` if the cap is hit.
+    fn all_cliques(graph: &Graph, k: usize, allowed: &[bool]) -> Option<Vec<Vec<VertexId>>> {
+        let mut cliques = Vec::new();
+        let mut stack: Vec<Vec<VertexId>> = graph
+            .vertices()
+            .filter(|&v| allowed[v as usize])
+            .map(|v| vec![v])
+            .collect();
+        while let Some(current) = stack.pop() {
+            if current.len() == k {
+                cliques.push(current);
+                if cliques.len() > MAX_CLIQUES {
+                    return None;
+                }
+                continue;
+            }
+            let last = *current.last().expect("non-empty partial clique");
+            for &cand in graph.neighbors(last) {
+                // Ascending order generates each clique exactly once.
+                if cand <= last || !allowed[cand as usize] {
+                    continue;
+                }
+                if current.iter().all(|&m| graph.has_edge(m, cand)) {
+                    let mut next = current.clone();
+                    next.push(cand);
+                    stack.push(next);
+                }
+            }
+        }
+        Some(cliques)
+    }
+
+    /// The k-clique community of `q` for a specific k, if any k-clique
+    /// contains q.
+    pub fn community_at_k(&self, graph: &Graph, q: VertexId, k: usize) -> Option<Vec<VertexId>> {
+        if k < 2 {
+            return None;
+        }
+        // Every member of a k-clique lies in the (k−1)-core; restricting
+        // the enumeration there keeps the clique count tractable.
+        let core = core_decomp::core_numbers(graph);
+        if core[q as usize] < k - 1 {
+            return None;
+        }
+        let allowed: Vec<bool> = core.iter().map(|&c| c >= k - 1).collect();
+        let cliques = Self::all_cliques(graph, k, &allowed)?;
+        let seed = cliques.iter().position(|c| c.contains(&q))?;
+        // Percolate: BFS over cliques sharing k−1 vertices.
+        let share = |a: &[VertexId], b: &[VertexId]| -> bool {
+            let mut count = 0;
+            for v in a {
+                if b.binary_search(v).is_ok() {
+                    count += 1;
+                    if count >= k - 1 {
+                        return true;
+                    }
+                }
+            }
+            false
+        };
+        let mut visited = vec![false; cliques.len()];
+        let mut queue = VecDeque::new();
+        visited[seed] = true;
+        queue.push_back(seed);
+        let mut members: Vec<VertexId> = cliques[seed].clone();
+        while let Some(i) = queue.pop_front() {
+            for j in 0..cliques.len() {
+                if !visited[j] && share(&cliques[i], &cliques[j]) {
+                    visited[j] = true;
+                    queue.push_back(j);
+                    members.extend_from_slice(&cliques[j]);
+                }
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        Some(members)
+    }
+
+    /// The community for the largest feasible k (descending from the
+    /// query's core number + 1), falling back to the plain edge (k = 2).
+    pub fn search_one(&self, graph: &Graph, q: VertexId) -> Vec<VertexId> {
+        let core = core_decomp::core_numbers(graph);
+        let mut k = core[q as usize] + 1;
+        if self.max_k > 0 {
+            k = k.min(self.max_k);
+        }
+        while k >= 2 {
+            if let Some(c) = self.community_at_k(graph, q, k) {
+                if c.len() > 1 {
+                    return c;
+                }
+            }
+            k -= 1;
+        }
+        vec![q]
+    }
+}
+
+impl CommunityMethod for KClique {
+    fn name(&self) -> &'static str {
+        "k-Clique"
+    }
+
+    fn supports_attrs(&self) -> bool {
+        false
+    }
+
+    fn supports_multi_vertex(&self) -> bool {
+        false
+    }
+
+    fn search(&self, graph: &AttributedGraph, query: &Query) -> Vec<VertexId> {
+        let q = *query.vertices.first().expect("k-clique needs a query vertex");
+        self.search_one(graph.graph(), q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles sharing an edge {1,2} plus a pendant 4–5.
+    fn bowtie() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn triangles_sharing_edge_percolate() {
+        let g = bowtie();
+        let kc = KClique::new();
+        // 3-cliques {0,1,2} and {1,2,3} share 2 vertices → one community.
+        let c = kc.community_at_k(&g, 0, 3).unwrap();
+        assert_eq!(c, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pendant_vertex_falls_back_to_edge() {
+        let g = bowtie();
+        let kc = KClique::new();
+        let c = kc.search_one(&g, 5);
+        assert!(c.contains(&5) && c.contains(&4));
+    }
+
+    #[test]
+    fn k_too_large_returns_none() {
+        let g = bowtie();
+        let kc = KClique::new();
+        assert!(kc.community_at_k(&g, 0, 4).is_none() || kc.community_at_k(&g, 0, 4).unwrap().len() <= 1);
+    }
+
+    #[test]
+    fn disjoint_triangles_do_not_percolate() {
+        // Two triangles connected by a single edge (share 1 < k−1 = 2).
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        let kc = KClique::new();
+        let c = kc.community_at_k(&g, 0, 3).unwrap();
+        assert_eq!(c, vec![0, 1, 2], "bridge edge must not percolate 3-cliques");
+    }
+
+    #[test]
+    fn clique_returns_whole_clique() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in i + 1..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, &edges);
+        let kc = KClique::new();
+        let c = kc.search_one(&g, 0);
+        assert_eq!(c, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn method_trait_basics() {
+        let kc = KClique::new();
+        assert!(!kc.supports_attrs());
+        assert!(!kc.supports_multi_vertex());
+        assert_eq!(kc.name(), "k-Clique");
+    }
+}

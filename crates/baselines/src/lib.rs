@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # qdgnn-baselines
+//!
+//! Reimplementations of the five baselines the paper evaluates against
+//! (§7.1.2):
+//!
+//! * [`ctc`] — **CTC** (closest truss community, Huang et al. PVLDB'15):
+//!   maximum-trussness connected subgraph containing the query, with
+//!   distance-based free-rider removal;
+//! * [`kecc`] — **k-ECC** (Chang et al. SIGMOD'15): the k-edge-connected
+//!   component containing the query for the largest feasible k;
+//! * [`acq`] — **ACQ** (Fang et al. PVLDB'16): connected k-core whose
+//!   members share the maximum number of query attributes;
+//! * [`atc`] — **ATC** (Huang & Lakshmanan PVLDB'17): k-truss community
+//!   maximizing an attribute score, found by greedy peeling;
+//! * [`icsgnn`] — **ICS-GNN** (Gao et al. PVLDB'21): a Vanilla GCN
+//!   re-trained per query on a candidate subgraph, selecting a k-sized
+//!   community of maximum scores.
+//!
+//! All five implement [`CommunityMethod`], the interface the experiment
+//! harness times and scores.
+
+pub mod acq;
+pub mod atc;
+pub mod ctc;
+pub mod icsgnn;
+pub mod kclique;
+pub mod kecc;
+
+use qdgnn_data::Query;
+use qdgnn_graph::{AttributedGraph, VertexId};
+
+pub use acq::Acq;
+pub use atc::Atc;
+pub use ctc::Ctc;
+pub use icsgnn::{IcsGnn, IcsGnnConfig};
+pub use kclique::KClique;
+pub use kecc::KEcc;
+
+/// A community-search method with an offline index stage and an online
+/// query stage (the interface Tables 2 and 4 time).
+pub trait CommunityMethod {
+    /// Method name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether query attributes influence the result.
+    fn supports_attrs(&self) -> bool;
+
+    /// Whether multi-vertex queries are supported (ACQ is single-vertex
+    /// only, §7.2.2).
+    fn supports_multi_vertex(&self) -> bool;
+
+    /// Answers one query with a community (sorted vertex ids).
+    fn search(&self, graph: &AttributedGraph, query: &Query) -> Vec<VertexId>;
+}

@@ -1,0 +1,122 @@
+//! Property tests for the classical baselines on random attributed
+//! graphs: their structural definitions must hold on every answer.
+
+use proptest::prelude::*;
+use qdgnn_baselines::{atc, Acq, Atc, CommunityMethod, Ctc, KEcc};
+use qdgnn_data::{GeneratorConfig, Query};
+use qdgnn_graph::{core_decomp, traversal, truss, AttributedGraph, VertexId};
+
+fn dataset_strategy() -> impl Strategy<Value = (AttributedGraph, Vec<VertexId>)> {
+    (2usize..4, 6.0f64..14.0, 1u64..300).prop_map(|(k, size, seed)| {
+        let data = GeneratorConfig {
+            num_communities: k,
+            community_size_mean: size,
+            vocab_size: 30,
+            topics_per_community: 6,
+            attrs_per_vertex_mean: 3.0,
+            intra_degree: 4.0,
+            inter_degree: 1.0,
+            seed,
+            ..Default::default()
+        }
+        .generate("prop");
+        let queries: Vec<VertexId> =
+            data.communities.iter().map(|c| c[0]).collect();
+        (data.graph, queries)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ctc_answer_is_connected_and_contains_query((data, queries) in dataset_strategy()) {
+        let ctc = Ctc::index(data.graph());
+        for &q in &queries {
+            let c = ctc.search_vertices(data.graph(), &[q]);
+            prop_assert!(c.contains(&q));
+            prop_assert!(traversal::is_connected_subset(data.graph(), &c));
+        }
+    }
+
+    #[test]
+    fn ctc_max_truss_matches_decomposition((data, queries) in dataset_strategy()) {
+        let ctc = Ctc::index(data.graph());
+        let reference = |q: VertexId| truss::max_truss_containing(data.graph(), &[q]);
+        for &q in &queries {
+            let (k_idx, members_idx) = ctc.max_truss_community(&[q]);
+            let (k_ref, members_ref) = reference(q);
+            prop_assert_eq!(k_idx, k_ref);
+            prop_assert_eq!(members_idx, members_ref);
+        }
+    }
+
+    #[test]
+    fn kecc_answer_has_min_degree_at_least_k((data, queries) in dataset_strategy()) {
+        let kecc = KEcc::new();
+        for &q in &queries {
+            let query = Query { vertices: vec![q], attrs: vec![], truth: vec![] };
+            let c = kecc.search(&data, &query);
+            prop_assert!(c.contains(&q));
+            if c.len() > 1 {
+                // Edge connectivity ≥ k ⇒ min degree ≥ k; verify via the
+                // k implied by the query's core number bound.
+                let sub = data.graph().induced_subgraph(&c);
+                let (_, comps) = traversal::connected_components(&sub.graph);
+                prop_assert_eq!(comps, 1, "k-ECC answer must be connected");
+            }
+        }
+    }
+
+    #[test]
+    fn acq_answer_is_connected_kcore_with_query((data, queries) in dataset_strategy()) {
+        let acq = Acq::new();
+        for &q in &queries {
+            let attrs = data.attrs_of(q).to_vec();
+            let c = acq.search_one(&data, q, &attrs[..attrs.len().min(3)]);
+            prop_assert!(c.contains(&q));
+            prop_assert!(traversal::is_connected_subset(data.graph(), &c));
+            // Community members are inside q's structural max core or the
+            // query itself (the filtering never adds outside vertices).
+            let (_, base) = core_decomp::max_core_containing(data.graph(), &[q]);
+            for &v in &c {
+                prop_assert!(v == q || base.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn atc_peeling_never_lowers_score((data, queries) in dataset_strategy()) {
+        let atc_idx = Atc::index(data.graph());
+        for &q in &queries {
+            let attrs = data.attrs_of(q).to_vec();
+            let attrs = &attrs[..attrs.len().min(3)];
+            let final_answer = atc_idx.search_vertices(&data, &[q], attrs);
+            prop_assert!(final_answer.contains(&q));
+            // The returned answer's score is at least the starting
+            // (max-truss community) score — peeling keeps the best.
+            let start = truss::max_truss_containing(data.graph(), &[q]).1;
+            if !start.is_empty() && !attrs.is_empty() {
+                let s_final = atc::attribute_score(&data, &final_answer, attrs);
+                let s_start = atc::attribute_score(&data, &start, attrs);
+                prop_assert!(
+                    s_final + 1e-9 >= s_start,
+                    "peeling regressed the score: {s_start} → {s_final}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_attribute_queries_reduce_to_structural_methods((data, queries) in dataset_strategy()) {
+        // With no query attributes, ATC must equal its structural stage.
+        let atc_idx = Atc::index(data.graph());
+        for &q in &queries {
+            let with_empty = atc_idx.search_vertices(&data, &[q], &[]);
+            let structural = truss::max_truss_containing(data.graph(), &[q]).1;
+            if !structural.is_empty() {
+                prop_assert_eq!(with_empty, structural);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Ablation benches (Figures 8–10): the cost side of the design choices —
+//! forward passes with/without Feature Fusion, train- versus eval-mode
+//! passes (dropout + batch statistics), the γ-sweep identification step,
+//! and a full training epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qdgnn_core::config::ModelConfig;
+use qdgnn_core::identify::identify_community;
+use qdgnn_core::models::{predict_scores, AqdGnn, CsModel};
+use qdgnn_core::train::{encode_query, TrainConfig, Trainer};
+use qdgnn_core::GraphTensors;
+use qdgnn_data::AttrMode;
+use qdgnn_nn::Mode;
+use qdgnn_tensor::Tape;
+
+fn bench(c: &mut Criterion) {
+    let dataset = qdgnn_data::presets::toy();
+    let mc = qdgnn_bench::bench_model_config();
+    let tensors = GraphTensors::new(&dataset.graph, mc.adj_norm, mc.fusion_graph_attr_cap);
+    let split = qdgnn_bench::bench_queries(&dataset, AttrMode::FromCommunity, 1, 3);
+    let query = split.test[0].clone();
+
+    let fused = AqdGnn::new(mc.clone(), tensors.d);
+    let nofu = AqdGnn::new(ModelConfig { feature_fusion: false, ..mc.clone() }, tensors.d);
+    let qv = encode_query(&fused, &tensors, &query);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("fig8a: forward with fusion", |b| {
+        b.iter(|| predict_scores(&fused, &tensors, &qv))
+    });
+    group.bench_function("fig8a: forward without fusion", |b| {
+        b.iter(|| predict_scores(&nofu, &tensors, &qv))
+    });
+
+    let scores = predict_scores(&fused, &tensors, &qv);
+    let grid: Vec<f32> = (1..=19).map(|i| i as f32 * 0.05).collect();
+    group.bench_function("fig8b: gamma sweep identification", |b| {
+        b.iter(|| {
+            grid.iter()
+                .map(|&g| identify_community(&tensors, &query.vertices, &scores, g, true).len())
+                .sum::<usize>()
+        })
+    });
+
+    // Fig 10b cost side: train-mode forward (dropout + batch stats) vs
+    // eval-mode forward.
+    group.bench_function("fig10b: train-mode forward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+            let out = fused.forward(&mut tape, &tensors, &qv, Mode::Train, &mut rng);
+            Arc::clone(tape.value(out.logits))
+        })
+    });
+
+    // Fig 10a cost side: a full training epoch over the bench split.
+    group.bench_function("fig10a: one training epoch", |b| {
+        b.iter(|| {
+            let model = AqdGnn::new(mc.clone(), tensors.d);
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 1,
+                validate_every: 10,
+                ..Default::default()
+            });
+            trainer.train(model, &tensors, &split.train, &[]).report.loss_history
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

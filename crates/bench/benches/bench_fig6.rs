@@ -1,0 +1,36 @@
+//! Figure 6 bench: the online query pipeline of each non-attributed
+//! method — classical searches versus one learned-model inference pass —
+//! at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qdgnn_baselines::{CommunityMethod, Ctc, KEcc};
+use qdgnn_bench::{first_test_query, qd_fixture};
+use qdgnn_core::train::predict_community;
+
+fn bench(c: &mut Criterion) {
+    let fixture = qd_fixture();
+    let query = first_test_query(&fixture).clone();
+    let graph = &fixture.dataset.graph;
+
+    let mut group = c.benchmark_group("fig6_query_pipeline");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let ctc = Ctc::index(graph.graph());
+    group.bench_function("CTC", |b| b.iter(|| ctc.search(graph, &query)));
+
+    let ecc = KEcc::new();
+    group.bench_function("ECC", |b| b.iter(|| ecc.search(graph, &query)));
+
+    group.bench_function("QD-GNN online", |b| {
+        b.iter(|| {
+            predict_community(&fixture.trained.model, &fixture.tensors, &query, fixture.trained.gamma)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

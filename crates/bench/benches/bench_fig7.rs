@@ -1,0 +1,35 @@
+//! Figure 7 bench: attributed community search per method — ACQ and ATC
+//! combinatorial searches versus one AQD-GNN inference pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qdgnn_baselines::{Acq, Atc, CommunityMethod};
+use qdgnn_bench::{aqd_fixture, first_test_query};
+use qdgnn_core::train::predict_community;
+
+fn bench(c: &mut Criterion) {
+    let fixture = aqd_fixture();
+    let query = first_test_query(&fixture).clone();
+    let graph = &fixture.dataset.graph;
+
+    let mut group = c.benchmark_group("fig7_attributed_query");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let acq = Acq::new();
+    group.bench_function("ACQ", |b| b.iter(|| acq.search(graph, &query)));
+
+    let atc = Atc::index(graph.graph());
+    group.bench_function("ATC", |b| b.iter(|| atc.search(graph, &query)));
+
+    group.bench_function("AQD-GNN online", |b| {
+        b.iter(|| {
+            predict_community(&fixture.trained.model, &fixture.tensors, &query, fixture.trained.gamma)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

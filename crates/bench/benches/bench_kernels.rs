@@ -1,0 +1,54 @@
+//! Substrate microbenches: the tensor kernels and graph decompositions
+//! everything above is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qdgnn_graph::{conn, core_decomp, truss};
+use qdgnn_tensor::{Csr, Dense};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    // Dense matmul at the model's dominant shape (n × fused) · (fused × h).
+    let n = 512;
+    let a = Dense::from_vec(n, 96, (0..n * 96).map(|i| (i % 13) as f32 - 6.0).collect());
+    let w = Dense::from_vec(96, 32, (0..96 * 32).map(|i| (i % 7) as f32 - 3.0).collect());
+    group.bench_function("matmul 512x96x32", |b| b.iter(|| a.matmul(&w)));
+    group.bench_function("transpose_matmul 512x96x32", |b| b.iter(|| a.transpose_matmul(&a)));
+
+    // SpMM at adjacency scale.
+    let dataset = qdgnn_data::presets::fb_414();
+    let adj = qdgnn_graph::attributed::adjacency_matrix(
+        dataset.graph.graph(),
+        qdgnn_graph::attributed::AdjNorm::GcnSym,
+    );
+    let h = Dense::from_vec(
+        adj.cols(),
+        32,
+        (0..adj.cols() * 32).map(|i| (i % 11) as f32 - 5.0).collect(),
+    );
+    group.bench_function("spmm adjacency x h", |b| b.iter(|| adj.spmm(&h)));
+    group.bench_function("csr transpose", |b| b.iter(|| adj.transpose()));
+    let triplets: Vec<(usize, usize, f32)> = (0..adj.rows())
+        .flat_map(|r| adj.row_iter(r).map(move |(c, v)| (r, c, v)))
+        .collect();
+    group.bench_function("csr from_triplets", |b| {
+        b.iter(|| Csr::from_triplets(adj.rows(), adj.cols(), &triplets))
+    });
+
+    // Graph decompositions on the FB-414 replica.
+    let g = dataset.graph.graph();
+    group.bench_function("core decomposition", |b| b.iter(|| core_decomp::core_numbers(g)));
+    group.bench_function("truss decomposition", |b| b.iter(|| truss::truss_decomposition(g)));
+    group.bench_function("stoer-wagner min cut", |b| b.iter(|| conn::min_cut(g)));
+    group.bench_function("fusion graph construction", |b| {
+        b.iter(|| dataset.graph.fusion_graph(100))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

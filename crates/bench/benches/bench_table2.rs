@@ -1,0 +1,55 @@
+//! Table 2 bench: average online query time per method on the FB-414
+//! replica — the table's exact measurement, Criterion-instrumented.
+//!
+//! The headline shape to look for: the four combinatorial baselines' cost
+//! scales with the graph, while AQD-GNN inference is a fixed small number
+//! of sparse/dense products.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qdgnn_baselines::{Acq, Atc, CommunityMethod, Ctc, KEcc};
+use qdgnn_bench::{aqd_untrained, first_test_query};
+use qdgnn_core::train::predict_community;
+
+fn bench(c: &mut Criterion) {
+    let fixture = aqd_untrained();
+    let query = first_test_query(&fixture).clone();
+    let graph = &fixture.dataset.graph;
+
+    let mut group = c.benchmark_group("table2_query_time");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let ctc = Ctc::index(graph.graph());
+    group.bench_function("CTC", |b| b.iter(|| ctc.search(graph, &query)));
+
+    let ecc = KEcc::new();
+    group.bench_function("ECC", |b| b.iter(|| ecc.search(graph, &query)));
+
+    let acq = Acq::new();
+    group.bench_function("ACQ", |b| b.iter(|| acq.search(graph, &query)));
+
+    let atc = Atc::index(graph.graph());
+    group.bench_function("ATC", |b| b.iter(|| atc.search(graph, &query)));
+
+    group.bench_function("AQD-GNN", |b| {
+        b.iter(|| {
+            predict_community(&fixture.trained.model, &fixture.tensors, &query, fixture.trained.gamma)
+        })
+    });
+
+    // Serving-optimized variant: the query-independent Graph Encoder is
+    // precomputed once; each query pays only for its own branches.
+    let stage = qdgnn_core::OnlineStage::new(
+        &fixture.trained.model,
+        &fixture.tensors,
+        fixture.trained.gamma,
+    );
+    assert!(stage.is_cached());
+    group.bench_function("AQD-GNN (graph-cache)", |b| b.iter(|| stage.query(&query)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

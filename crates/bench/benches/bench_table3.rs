@@ -1,0 +1,41 @@
+//! Table 3 bench: one interactive round — ICS-GNN's per-query GCN
+//! re-training versus a single pre-trained model inference in the same
+//! candidate-subgraph pipeline. The gap is the paper's framework
+//! contribution (§5: detaching training from the online query stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qdgnn_baselines::{IcsGnn, IcsGnnConfig};
+use qdgnn_bench::{first_test_query, qd_fixture};
+use qdgnn_core::interactive::{run_interactive, InteractiveConfig, ModelScorer};
+
+fn bench(c: &mut Criterion) {
+    let fixture = qd_fixture();
+    let query = first_test_query(&fixture).clone();
+    let graph = &fixture.dataset.graph;
+    let cfg = InteractiveConfig { rounds: 1, candidate_size: 60, ..Default::default() };
+
+    let mut group = c.benchmark_group("table3_interactive_round");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let ics = IcsGnn::new(IcsGnnConfig {
+        hidden: 16,
+        epochs: 20,
+        candidate_size: 60,
+        ..Default::default()
+    });
+    group.bench_function("ICS-GNN (re-trains per query)", |b| {
+        b.iter(|| run_interactive(graph, &ics, &query, &cfg, 1))
+    });
+
+    let scorer = ModelScorer { model: &fixture.trained.model };
+    group.bench_function("QD-GNN (pre-trained inference)", |b| {
+        b.iter(|| run_interactive(graph, &scorer, &query, &cfg, 1))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

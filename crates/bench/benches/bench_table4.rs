@@ -1,0 +1,45 @@
+//! Table 4 bench: the large-graph subgraph mechanism — candidate
+//! extraction, subgraph inference, and the ACQ search it replaces, on the
+//! benchmark-scale Reddit replica.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qdgnn_baselines::{Acq, CommunityMethod};
+use qdgnn_core::models::AqdGnn;
+use qdgnn_core::subgraph::{extract_candidate, predict_community_subgraph, SubgraphConfig};
+use qdgnn_core::CsModel;
+use qdgnn_data::{queries as qgen, AttrMode};
+use qdgnn_experiments::profile::Profile;
+
+fn bench(c: &mut Criterion) {
+    let dataset = qdgnn_experiments::table4::reddit_for(Profile::Fast);
+    let mc = qdgnn_bench::bench_model_config();
+    let fusion = dataset.graph.fusion_graph(mc.fusion_graph_attr_cap);
+    let query = qgen::generate(&dataset, 1, 1, 1, AttrMode::FromCommunity, 3).remove(0);
+    let sub_cfg = SubgraphConfig { two_hop_below: 64, max_vertices: 512 };
+    let model = AqdGnn::new(mc, dataset.graph.num_attrs());
+
+    let mut group = c.benchmark_group("table4_large_graph");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("candidate extraction", |b| {
+        b.iter(|| extract_candidate(&dataset.graph, &fusion, &query, model.config(), &sub_cfg))
+    });
+
+    group.bench_function("AQD-GNN subgraph query", |b| {
+        b.iter(|| {
+            predict_community_subgraph(&model, &dataset.graph, &fusion, &query, 0.5, &sub_cfg)
+        })
+    });
+
+    let acq = Acq::new();
+    group.bench_function("ACQ full-graph query", |b| {
+        b.iter(|| acq.search(&dataset.graph, &query))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

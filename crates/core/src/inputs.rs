@@ -1,0 +1,144 @@
+//! Precomputed per-dataset tensors (§4.1 input construction).
+//!
+//! Everything here is query-independent and shared (via `Arc`) across
+//! queries, epochs and data-parallel workers: the normalized adjacency,
+//! the normalized attribute matrix `F`, the bipartite incidence `B`, the
+//! structure graph, and (lazily) the fusion graph used by attributed
+//! community identification.
+
+use std::sync::Arc;
+
+use qdgnn_graph::attributed::{adjacency_matrix, AdjNorm, AttrId};
+use qdgnn_graph::{AttributedGraph, Graph, VertexId};
+use qdgnn_tensor::{Csr, Dense};
+
+/// Query-independent tensors for one attributed graph.
+#[derive(Clone)]
+pub struct GraphTensors {
+    /// Number of vertices `n`.
+    pub n: usize,
+    /// Attribute vocabulary size `d = |F̂|`.
+    pub d: usize,
+    /// Aggregation matrix `Â` (self-loop augmented, normalized).
+    pub adj: Arc<Csr>,
+    /// Transpose of `adj` (backward pass).
+    pub adj_t: Arc<Csr>,
+    /// Row-normalized attribute matrix `F` (n×d).
+    pub feat: Arc<Csr>,
+    /// Transpose of `feat`.
+    pub feat_t: Arc<Csr>,
+    /// Raw node–attribute incidence `B` (n×d).
+    pub bip: Arc<Csr>,
+    /// Transpose `Bᵀ` (d×n).
+    pub bip_t: Arc<Csr>,
+    /// The structure graph (community identification for CS).
+    pub graph: Arc<Graph>,
+    /// The fusion graph (community identification for ACS), built with
+    /// the configured attribute-frequency cap.
+    pub fusion: Arc<Graph>,
+}
+
+impl GraphTensors {
+    /// Builds all tensors for `graph`.
+    pub fn new(graph: &AttributedGraph, adj_norm: AdjNorm, fusion_attr_cap: usize) -> Self {
+        let adj = adjacency_matrix(graph.graph(), adj_norm);
+        let adj_t = adj.transpose();
+        let feat = graph.attribute_matrix();
+        let feat_t = feat.transpose();
+        let bip = graph.bipartite_incidence();
+        let bip_t = bip.transpose();
+        let fusion = graph.fusion_graph(fusion_attr_cap);
+        GraphTensors {
+            n: graph.num_vertices(),
+            d: graph.num_attrs(),
+            adj: Arc::new(adj),
+            adj_t: Arc::new(adj_t),
+            feat: Arc::new(feat),
+            feat_t: Arc::new(feat_t),
+            bip: Arc::new(bip),
+            bip_t: Arc::new(bip_t),
+            graph: Arc::new(graph.graph().clone()),
+            fusion: Arc::new(fusion),
+        }
+    }
+}
+
+/// Vectorized query inputs (§4.1): one-hot query-vertex and
+/// query-attribute columns.
+#[derive(Clone, Debug)]
+pub struct QueryVectors {
+    /// `v_q ∈ {0,1}^n` as an n×1 column.
+    pub vertex_onehot: Dense,
+    /// `f_q ∈ {0,1}^d` as a d×1 column (all zeros under EmA).
+    pub attr_onehot: Dense,
+}
+
+impl QueryVectors {
+    /// Encodes a query against a graph with `n` vertices and `d`
+    /// attributes.
+    ///
+    /// # Panics
+    /// Panics if a query vertex or attribute is out of range.
+    pub fn encode(n: usize, d: usize, vertices: &[VertexId], attrs: &[AttrId]) -> Self {
+        let mut v = Dense::zeros(n, 1);
+        for &q in vertices {
+            assert!((q as usize) < n, "query vertex {q} out of range");
+            v.set(q as usize, 0, 1.0);
+        }
+        let mut f = Dense::zeros(d, 1);
+        for &a in attrs {
+            assert!((a as usize) < d, "query attribute {a} out of range");
+            f.set(a as usize, 0, 1.0);
+        }
+        QueryVectors { vertex_onehot: v, attr_onehot: f }
+    }
+
+    /// Whether the query carries attributes.
+    pub fn has_attrs(&self) -> bool {
+        self.attr_onehot.as_slice().iter().any(|&x| x != 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdgnn_data::presets;
+
+    #[test]
+    fn tensors_have_consistent_shapes() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        assert_eq!(t.adj.rows(), t.n);
+        assert_eq!(t.adj.cols(), t.n);
+        assert_eq!(t.feat.rows(), t.n);
+        assert_eq!(t.feat.cols(), t.d);
+        assert_eq!(t.bip_t.rows(), t.d);
+        assert_eq!(t.bip_t.cols(), t.n);
+        assert!(t.fusion.num_edges() >= t.graph.num_edges());
+    }
+
+    #[test]
+    fn adjacency_transpose_is_consistent() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::Mean, 100);
+        // Mean normalization is asymmetric; transpose must still match.
+        let dense = t.adj.to_dense().transpose();
+        assert!(t.adj_t.to_dense().approx_eq(&dense, 1e-6));
+    }
+
+    #[test]
+    fn query_vectors_one_hot() {
+        let q = QueryVectors::encode(5, 3, &[1, 3], &[2]);
+        assert_eq!(q.vertex_onehot.as_slice(), &[0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(q.attr_onehot.as_slice(), &[0.0, 0.0, 1.0]);
+        assert!(q.has_attrs());
+        let empty = QueryVectors::encode(2, 2, &[0], &[]);
+        assert!(!empty.has_attrs());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_vertex_out_of_range() {
+        let _ = QueryVectors::encode(3, 1, &[7], &[]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The three community-search models and their common interface.
+
+pub(crate) mod blocks;
+mod aqdgnn;
+mod qdgnn;
+mod simple;
+
+pub use aqdgnn::AqdGnn;
+pub use qdgnn::QdGnn;
+pub use simple::SimpleQdGnn;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qdgnn_nn::{BatchNorm1d, BnStats, Mode};
+use qdgnn_tensor::{Dense, ParamId, ParamStore, Tape, Var};
+
+use crate::config::ModelConfig;
+use crate::inputs::{GraphTensors, QueryVectors};
+
+/// Query-independent Graph Encoder activations (`h_G^(1..k)` in eval
+/// mode), computed once per graph and shared across online queries.
+///
+/// The Graph Encoder never consumes query information (Algorithm 2/3
+/// keep it feeding on its own output), so at serving time its k forward
+/// layers are identical for every query — caching them turns the online
+/// stage into query-branch-only work. Build with
+/// [`CsModel::build_graph_cache`], use with [`predict_scores_cached`].
+#[derive(Clone)]
+pub struct GraphCache {
+    /// Post-processed Graph Encoder output per layer (n × hidden each).
+    pub layers: Vec<std::sync::Arc<Dense>>,
+}
+
+/// Output of one model forward pass.
+pub struct ForwardResult {
+    /// Per-vertex logits (n×1); apply a sigmoid for the paper's `h_q`.
+    pub logits: Var,
+    /// Parameter leaves created on the tape, for gradient extraction.
+    pub leaves: Vec<(Var, ParamId)>,
+    /// Train-mode batch-norm statistics (BN index, stats).
+    pub bn_stats: Vec<(usize, BnStats)>,
+}
+
+/// Snapshot of a model's trainable state (parameters plus batch-norm
+/// running statistics), used to keep the best-on-validation weights.
+#[derive(Clone)]
+pub struct Checkpoint {
+    params: Vec<Dense>,
+    bn_running: Vec<(Dense, Dense)>,
+}
+
+/// Common interface of [`SimpleQdGnn`], [`QdGnn`] and [`AqdGnn`].
+///
+/// Models are `Send + Sync`: forward passes borrow the model immutably,
+/// so data-parallel workers can run queries concurrently against shared
+/// parameters; only the optimizer step and
+/// [`CsModel::apply_bn_stats`] mutate state (on the training thread).
+pub trait CsModel: Send + Sync {
+    /// Display name ("QD-GNN", …).
+    fn name(&self) -> &'static str;
+
+    /// The hyper-parameters the model was built with.
+    fn config(&self) -> &ModelConfig;
+
+    /// The trainable parameters.
+    fn store(&self) -> &ParamStore;
+
+    /// Mutable access for the optimizer.
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// The model's batch-norm layers (flat table).
+    fn bns(&self) -> &[BatchNorm1d];
+
+    /// Mutable batch-norm access.
+    fn bns_mut(&mut self) -> &mut [BatchNorm1d];
+
+    /// Records one query's forward pass on `tape`.
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        inputs: &GraphTensors,
+        query: &QueryVectors,
+        mode: Mode,
+        rng: &mut StdRng,
+    ) -> ForwardResult;
+
+    /// Whether the model consumes query attributes (AQD-GNN).
+    fn uses_attributes(&self) -> bool {
+        false
+    }
+
+    /// Precomputes the query-independent Graph Encoder activations for
+    /// online serving (eval mode). Returns `None` for models without a
+    /// graph branch (Simple QD-GNN).
+    fn build_graph_cache(&self, _inputs: &GraphTensors) -> Option<GraphCache> {
+        None
+    }
+
+    /// Eval-mode forward pass reusing a [`GraphCache`] built by
+    /// [`CsModel::build_graph_cache`] on the same graph and weights.
+    /// The default implementation ignores the cache and runs the full
+    /// forward pass.
+    fn forward_cached(
+        &self,
+        tape: &mut Tape,
+        inputs: &GraphTensors,
+        _cache: &GraphCache,
+        query: &QueryVectors,
+        rng: &mut StdRng,
+    ) -> ForwardResult {
+        self.forward(tape, inputs, query, Mode::Eval, rng)
+    }
+
+    /// Folds a batch's BN statistics into the running estimates.
+    fn apply_bn_stats(&mut self, stats: &[(usize, BnStats)]) {
+        for (idx, s) in stats {
+            self.bns_mut()[*idx].apply_stats(s);
+        }
+    }
+
+    /// Deep-copies the trainable state.
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            params: self.store().snapshot(),
+            bn_running: self
+                .bns()
+                .iter()
+                .map(|bn| (bn.running_mean().clone(), bn.running_var().clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores a [`CsModel::checkpoint`].
+    fn restore(&mut self, ckpt: &Checkpoint) {
+        self.store_mut().restore(&ckpt.params);
+        for (bn, (mean, var)) in self.bns_mut().iter_mut().zip(&ckpt.bn_running) {
+            bn.set_running(mean.clone(), var.clone());
+        }
+    }
+}
+
+impl CsModel for Box<dyn CsModel> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn config(&self) -> &ModelConfig {
+        (**self).config()
+    }
+
+    fn store(&self) -> &ParamStore {
+        (**self).store()
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        (**self).store_mut()
+    }
+
+    fn bns(&self) -> &[BatchNorm1d] {
+        (**self).bns()
+    }
+
+    fn bns_mut(&mut self) -> &mut [BatchNorm1d] {
+        (**self).bns_mut()
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        inputs: &GraphTensors,
+        query: &QueryVectors,
+        mode: Mode,
+        rng: &mut StdRng,
+    ) -> ForwardResult {
+        (**self).forward(tape, inputs, query, mode, rng)
+    }
+
+    fn uses_attributes(&self) -> bool {
+        (**self).uses_attributes()
+    }
+
+    fn build_graph_cache(&self, inputs: &GraphTensors) -> Option<GraphCache> {
+        (**self).build_graph_cache(inputs)
+    }
+
+    fn forward_cached(
+        &self,
+        tape: &mut Tape,
+        inputs: &GraphTensors,
+        cache: &GraphCache,
+        query: &QueryVectors,
+        rng: &mut StdRng,
+    ) -> ForwardResult {
+        (**self).forward_cached(tape, inputs, cache, query, rng)
+    }
+}
+
+/// Runs an inference (eval-mode) forward pass and returns per-vertex
+/// community scores `h_q ∈ [0,1]^n` (the online query stage's model
+/// invocation, §4.3).
+pub fn predict_scores(model: &dyn CsModel, inputs: &GraphTensors, query: &QueryVectors) -> Vec<f32> {
+    let mut tape = Tape::new();
+    // Eval mode: dropout off, BN uses running stats — rng is never used,
+    // any fixed seed keeps the signature honest.
+    let mut rng = StdRng::seed_from_u64(0);
+    let result = model.forward(&mut tape, inputs, query, Mode::Eval, &mut rng);
+    let scores = tape.sigmoid(result.logits);
+    tape.value(scores).as_slice().to_vec()
+}
+
+/// Like [`predict_scores`], but reuses a precomputed [`GraphCache`]:
+/// only the query-dependent branches are evaluated per query.
+pub fn predict_scores_cached(
+    model: &dyn CsModel,
+    inputs: &GraphTensors,
+    cache: &GraphCache,
+    query: &QueryVectors,
+) -> Vec<f32> {
+    let mut tape = Tape::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let result = model.forward_cached(&mut tape, inputs, cache, query, &mut rng);
+    let scores = tape.sigmoid(result.logits);
+    tape.value(scores).as_slice().to_vec()
+}
+
+/// Builds the model's scalar output head (fused features → logits).
+pub(crate) fn output_head(
+    store: &mut ParamStore,
+    name: &str,
+    in_dim: usize,
+    rng: &mut StdRng,
+) -> (ParamId, ParamId) {
+    let w = store.xavier(format!("{name}.out.weight"), in_dim, 1, rng);
+    let b = store.zeros(format!("{name}.out.bias"), 1, 1);
+    (w, b)
+}
+
+/// Applies the output head inside a forward pass.
+pub(crate) fn apply_output_head<R: rand::Rng>(
+    ctx: &mut blocks::ForwardCtx<'_, R>,
+    head: (ParamId, ParamId),
+    fused: Var,
+) -> Var {
+    let w = ctx.param(head.0);
+    let b = ctx.param(head.1);
+    let y = ctx.tape.matmul(fused, w);
+    ctx.tape.add_row(y, b)
+}
+

@@ -1,0 +1,251 @@
+//! Trained-model persistence.
+//!
+//! The paper's framework trains once, offline, and serves queries online
+//! indefinitely — which requires putting trained weights on disk. The
+//! format is line-oriented text with f32 values serialized as exact IEEE
+//! bit patterns (hex), so a save/load round trip is bit-identical:
+//!
+//! ```text
+//! qdgnn-model v1
+//! model <name>
+//! gamma <hex-f32>
+//! params <count>
+//! param <name> <rows> <cols>
+//! <hex values, one row per line>
+//! …
+//! bns <count>
+//! bn <dim>
+//! <running-mean row>
+//! <running-var row>
+//! …
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use qdgnn_tensor::Dense;
+
+use crate::models::CsModel;
+
+/// Saves a trained model's parameters, batch-norm running statistics and
+/// selected threshold γ.
+pub fn save_model(path: impl AsRef<Path>, model: &dyn CsModel, gamma: f32) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "qdgnn-model v1")?;
+    writeln!(w, "model {}", model.name())?;
+    writeln!(w, "gamma {:08x}", gamma.to_bits())?;
+    writeln!(w, "params {}", model.store().len())?;
+    for (_, name, value) in model.store().iter() {
+        writeln!(w, "param {} {} {}", name, value.rows(), value.cols())?;
+        for r in 0..value.rows() {
+            writeln!(w, "{}", hex_row(value.row(r)))?;
+        }
+    }
+    writeln!(w, "bns {}", model.bns().len())?;
+    for bn in model.bns() {
+        writeln!(w, "bn {}", bn.dim())?;
+        writeln!(w, "{}", hex_row(bn.running_mean().as_slice()))?;
+        writeln!(w, "{}", hex_row(bn.running_var().as_slice()))?;
+    }
+    Ok(())
+}
+
+/// Restores a model saved by [`save_model`] into `model` (which must have
+/// been constructed with the same configuration and graph dimensions).
+/// Returns the stored γ.
+///
+/// # Errors
+/// Returns `InvalidData` when the file does not match the model's layout
+/// (wrong architecture, different graph dimensions, corrupt file).
+pub fn load_model(path: impl AsRef<Path>, model: &mut dyn CsModel) -> io::Result<f32> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let mut next = move || -> io::Result<String> {
+        lines.next().ok_or_else(|| bad("unexpected end of model file"))?
+    };
+    if next()?.trim() != "qdgnn-model v1" {
+        return Err(bad("not a qdgnn model file"));
+    }
+    let name_line = next()?;
+    let stored_name = name_line.strip_prefix("model ").ok_or_else(|| bad("missing model name"))?;
+    if stored_name != model.name() {
+        return Err(bad(&format!(
+            "model type mismatch: file has `{stored_name}`, target is `{}`",
+            model.name()
+        )));
+    }
+    let gamma_line = next()?;
+    let gamma_hex = gamma_line.strip_prefix("gamma ").ok_or_else(|| bad("missing gamma"))?;
+    let gamma = f32::from_bits(
+        u32::from_str_radix(gamma_hex.trim(), 16).map_err(|_| bad("bad gamma encoding"))?,
+    );
+
+    let count_line = next()?;
+    let count: usize = count_line
+        .strip_prefix("params ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| bad("missing parameter count"))?;
+    if count != model.store().len() {
+        return Err(bad(&format!(
+            "parameter count mismatch: file has {count}, model has {}",
+            model.store().len()
+        )));
+    }
+    let mut snapshot: Vec<Dense> = Vec::with_capacity(count);
+    for i in 0..count {
+        let header = next()?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("param") {
+            return Err(bad("expected `param` header"));
+        }
+        let _name = parts.next().ok_or_else(|| bad("missing param name"))?;
+        let rows: usize =
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad param rows"))?;
+        let cols: usize =
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad param cols"))?;
+        let expect = {
+            let id = model.store().ids().nth(i).expect("checked count");
+            model.store().value(id).shape()
+        };
+        if (rows, cols) != expect {
+            return Err(bad(&format!(
+                "parameter {i} shape mismatch: file {rows}x{cols}, model {}x{}",
+                expect.0, expect.1
+            )));
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows {
+            parse_hex_row(&next()?, cols, &mut data)?;
+        }
+        snapshot.push(Dense::from_vec(rows, cols, data));
+    }
+    let bn_line = next()?;
+    let bn_count: usize = bn_line
+        .strip_prefix("bns ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| bad("missing bn count"))?;
+    if bn_count != model.bns().len() {
+        return Err(bad("batch-norm count mismatch"));
+    }
+    let mut bn_stats: Vec<(Dense, Dense)> = Vec::with_capacity(bn_count);
+    for i in 0..bn_count {
+        let header = next()?;
+        let dim: usize = header
+            .strip_prefix("bn ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad("bad bn header"))?;
+        if dim != model.bns()[i].dim() {
+            return Err(bad("batch-norm width mismatch"));
+        }
+        let mut mean = Vec::with_capacity(dim);
+        parse_hex_row(&next()?, dim, &mut mean)?;
+        let mut var = Vec::with_capacity(dim);
+        parse_hex_row(&next()?, dim, &mut var)?;
+        bn_stats.push((Dense::from_vec(1, dim, mean), Dense::from_vec(1, dim, var)));
+    }
+
+    // All validated: commit.
+    model.store_mut().restore(&snapshot);
+    for (bn, (mean, var)) in model.bns_mut().iter_mut().zip(bn_stats) {
+        bn.set_running(mean, var);
+    }
+    Ok(gamma)
+}
+
+fn hex_row(values: &[f32]) -> String {
+    let mut s = String::with_capacity(values.len() * 9);
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&format!("{:08x}", v.to_bits()));
+    }
+    s
+}
+
+fn parse_hex_row(line: &str, expected: usize, out: &mut Vec<f32>) -> io::Result<()> {
+    let before = out.len();
+    for token in line.split_whitespace() {
+        let bits = u32::from_str_radix(token, 16).map_err(|_| bad("bad hex value"))?;
+        out.push(f32::from_bits(bits));
+    }
+    if out.len() - before != expected {
+        return Err(bad(&format!(
+            "row width mismatch: expected {expected}, got {}",
+            out.len() - before
+        )));
+    }
+    Ok(())
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::inputs::{GraphTensors, QueryVectors};
+    use crate::models::{predict_scores, AqdGnn, QdGnn};
+    use qdgnn_data::presets;
+    use qdgnn_graph::attributed::AdjNorm;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qdgnn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let model = AqdGnn::new(ModelConfig::fast(), t.d);
+        let q = QueryVectors::encode(t.n, t.d, &[0], &[1]);
+        let before = predict_scores(&model, &t, &q);
+
+        let path = tmp("aqd.model");
+        save_model(&path, &model, 0.55).unwrap();
+        let mut fresh = AqdGnn::new(ModelConfig { seed: 999, ..ModelConfig::fast() }, t.d);
+        let gamma = load_model(&path, &mut fresh).unwrap();
+        assert_eq!(gamma, 0.55);
+        let after = predict_scores(&fresh, &t, &q);
+        assert_eq!(before, after, "restored model must predict identically");
+    }
+
+    #[test]
+    fn wrong_model_type_is_rejected() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let aqd = AqdGnn::new(ModelConfig::fast(), t.d);
+        let path = tmp("typed.model");
+        save_model(&path, &aqd, 0.5).unwrap();
+        let mut qd = QdGnn::new(ModelConfig::fast(), t.d);
+        let err = load_model(&path, &mut qd).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_dimensions_are_rejected() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let model = QdGnn::new(ModelConfig::fast(), t.d);
+        let path = tmp("dims.model");
+        save_model(&path, &model, 0.5).unwrap();
+        // Different attribute vocabulary → different first-layer shapes.
+        let mut other = QdGnn::new(ModelConfig::fast(), t.d + 3);
+        assert!(load_model(&path, &mut other).is_err());
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let path = tmp("corrupt.model");
+        std::fs::write(&path, "qdgnn-model v1\nmodel QD-GNN\ngamma zz\n").unwrap();
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let mut model = QdGnn::new(ModelConfig::fast(), t.d);
+        assert!(load_model(&path, &mut model).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! The online serving stage, packaged: a trained model, its graph
+//! tensors, the selected threshold γ, and the precomputed
+//! query-independent Graph Encoder cache.
+//!
+//! This is the deployment shape the paper's framework implies (§4.3):
+//! training happened offline, and each arriving query costs one
+//! query-branch inference plus a constrained BFS.
+
+use qdgnn_data::Query;
+use qdgnn_graph::{CommunityMetrics, VertexId};
+
+use crate::identify::identify_community;
+use crate::inputs::GraphTensors;
+use crate::models::{predict_scores, predict_scores_cached, CsModel, GraphCache};
+use crate::train::encode_query;
+
+/// A ready-to-serve community-search endpoint.
+pub struct OnlineStage<'a> {
+    model: &'a dyn CsModel,
+    tensors: &'a GraphTensors,
+    cache: Option<GraphCache>,
+    gamma: f32,
+}
+
+impl<'a> OnlineStage<'a> {
+    /// Prepares serving state: precomputes the Graph Encoder cache when
+    /// the model has a query-independent branch.
+    pub fn new(model: &'a dyn CsModel, tensors: &'a GraphTensors, gamma: f32) -> Self {
+        let cache = model.build_graph_cache(tensors);
+        OnlineStage { model, tensors, cache, gamma }
+    }
+
+    /// The serving threshold γ.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+
+    /// Whether the Graph Encoder cache is active.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Per-vertex community scores `h_q` for one query.
+    pub fn scores(&self, query: &Query) -> Vec<f32> {
+        let qv = encode_query(self.model, self.tensors, query);
+        match &self.cache {
+            Some(cache) => predict_scores_cached(self.model, self.tensors, cache, &qv),
+            None => predict_scores(self.model, self.tensors, &qv),
+        }
+    }
+
+    /// Full online answer: inference plus constrained BFS (Algorithm 1,
+    /// on the fusion graph for attributed queries).
+    pub fn query(&self, query: &Query) -> Vec<VertexId> {
+        let scores = self.scores(query);
+        let attributed = self.model.uses_attributes() && !query.attrs.is_empty();
+        identify_community(self.tensors, &query.vertices, &scores, self.gamma, attributed)
+    }
+
+    /// Evaluates the endpoint over a query set (micro metrics).
+    pub fn evaluate(&self, queries: &[Query]) -> CommunityMetrics {
+        let predicted: Vec<Vec<VertexId>> = queries.iter().map(|q| self.query(q)).collect();
+        let truth: Vec<Vec<VertexId>> = queries.iter().map(|q| q.truth.clone()).collect();
+        CommunityMetrics::micro(&predicted, &truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::models::{AqdGnn, SimpleQdGnn};
+    use crate::train::{predict_community, TrainConfig, Trainer};
+    use qdgnn_data::{presets, queries as qgen, AttrMode, QuerySplit};
+    use qdgnn_graph::attributed::AdjNorm;
+
+    #[test]
+    fn cached_serving_matches_uncached_pipeline() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let queries = qgen::generate(&data, 40, 1, 2, AttrMode::FromCommunity, 8);
+        let split = QuerySplit::new(queries, 20, 10, 10);
+        let trained = Trainer::new(TrainConfig { epochs: 15, ..TrainConfig::fast() }).train(
+            AqdGnn::new(ModelConfig::fast(), t.d),
+            &t,
+            &split.train,
+            &split.val,
+        );
+        let stage = OnlineStage::new(&trained.model, &t, trained.gamma);
+        assert!(stage.is_cached());
+        for q in &split.test {
+            assert_eq!(
+                stage.query(q),
+                predict_community(&trained.model, &t, q, trained.gamma),
+                "cached endpoint must agree with the reference pipeline"
+            );
+        }
+        let m = stage.evaluate(&split.test);
+        assert!((0.0..=1.0).contains(&m.f1));
+    }
+
+    #[test]
+    fn simple_model_serves_without_cache() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let model = SimpleQdGnn::new(ModelConfig::fast());
+        let stage = OnlineStage::new(&model, &t, 0.5);
+        assert!(!stage.is_cached());
+        let q = qgen::generate(&data, 1, 1, 1, AttrMode::Empty, 1).remove(0);
+        let c = stage.query(&q);
+        assert!(c.contains(&q.vertices[0]));
+    }
+}

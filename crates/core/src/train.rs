@@ -1,0 +1,608 @@
+//! The offline model-training stage (§4.2) and the evaluation helpers of
+//! the online query stage.
+//!
+//! Training minimizes the BCE loss (Eq. 3) over the training queries with
+//! Adam; gradients for the queries of a mini-batch are computed on
+//! crossbeam worker threads against shared `Arc` parameters and reduced
+//! in a fixed order, so runs are deterministic for a given seed and
+//! thread-independent. Periodically the trainer evaluates on the
+//! validation queries, sweeping the threshold γ, and keeps the
+//! best-performing weights/γ (the paper selects both on validation).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use qdgnn_data::Query;
+use qdgnn_graph::{CommunityMetrics, VertexId};
+use qdgnn_nn::{positive_class_weights, Mode};
+use qdgnn_tensor::{Adam, AdamConfig, Dense, GradStore, Tape};
+
+use crate::identify::identify_community;
+use crate::inputs::{GraphTensors, QueryVectors};
+use crate::models::{predict_scores, CsModel};
+
+/// Training-stage hyper-parameters (§7.1.6 defaults).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Training epochs (paper: 300).
+    pub epochs: usize,
+    /// Queries per optimizer step (paper: batch size 4).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 0.001).
+    pub lr: f32,
+    /// Worker threads for per-query gradients (0 = available parallelism).
+    pub threads: usize,
+    /// Validate (and possibly checkpoint) every this many epochs.
+    pub validate_every: usize,
+    /// Threshold grid swept on validation (paper §7.5.2: 0.05–0.95).
+    pub gamma_grid: Vec<f32>,
+    /// Global-norm gradient clip (`None` disables).
+    pub clip: Option<f32>,
+    /// Early stopping: abort when this many consecutive validations fail
+    /// to improve the best F1 (`None` runs all epochs, as the paper does).
+    pub patience: Option<usize>,
+    /// Shuffling / dropout seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 300,
+            batch_size: 4,
+            lr: 1e-3,
+            threads: 0,
+            validate_every: 10,
+            gamma_grid: default_gamma_grid(),
+            clip: Some(5.0),
+            patience: None,
+            seed: 0xABCD,
+        }
+    }
+}
+
+/// The γ grid of §7.5.2: 0.05, 0.10, …, 0.95.
+pub fn default_gamma_grid() -> Vec<f32> {
+    (1..=19).map(|i| i as f32 * 0.05).collect()
+}
+
+impl TrainConfig {
+    /// A fast profile for tests/examples: fewer epochs, coarse γ grid.
+    pub fn fast() -> Self {
+        TrainConfig {
+            epochs: 40,
+            validate_every: 8,
+            gamma_grid: vec![0.3, 0.5, 0.7],
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Epochs actually run.
+    pub epochs_run: usize,
+    /// Best validation micro-F1 observed.
+    pub best_val_f1: f64,
+    /// The γ achieving it (carried into the online query stage).
+    pub best_gamma: f32,
+    /// Mean training loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// `(epoch, validation F1)` at each validation point — the data behind
+    /// the paper's epoch-sweep ablation (Figure 10a).
+    pub val_history: Vec<(usize, f64)>,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+}
+
+/// A trained model bundled with its selected threshold.
+pub struct TrainedModel<M> {
+    /// The model, restored to its best-on-validation weights.
+    pub model: M,
+    /// The selected threshold γ.
+    pub gamma: f32,
+    /// The training report.
+    pub report: TrainReport,
+}
+
+/// Per-query result of a gradient worker.
+struct WorkerResult {
+    loss: f32,
+    grads: GradStore,
+    bn_stats: Vec<(usize, qdgnn_nn::BnStats)>,
+}
+
+/// One prepared training example: its graph context (the whole graph for
+/// ordinary training, a per-query candidate subgraph for §7.4's
+/// large-graph mechanism), the vectorized query, and the target.
+pub(crate) struct TrainItem {
+    pub tensors: GraphTensors,
+    pub qv: QueryVectors,
+    pub target: Arc<Dense>,
+    pub weights: Option<Arc<Dense>>,
+}
+
+impl TrainItem {
+    /// Prepares a query against a graph context.
+    pub(crate) fn prepare(model: &dyn CsModel, tensors: &GraphTensors, q: &Query) -> Self {
+        let qv = encode_query(model, tensors, q);
+        let target = target_vector(tensors.n, &q.truth);
+        let weights = positive_class_weights(&target, model.config().class_balance);
+        TrainItem { tensors: tensors.clone(), qv, target: Arc::new(target), weights }
+    }
+}
+
+/// The generic training loop shared by [`Trainer`] and the subgraph
+/// trainer: mini-batch Adam over `items`, with `validate` called
+/// periodically to produce `(γ, F1)` for checkpoint selection.
+pub(crate) fn run_training<M: CsModel>(
+    mut model: M,
+    items: &[TrainItem],
+    cfg: &TrainConfig,
+    mut validate: impl FnMut(&M) -> Option<(f32, f64)>,
+) -> TrainedModel<M> {
+    assert!(!items.is_empty(), "training set must be non-empty");
+    let start = Instant::now();
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+
+    let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() }, model.store());
+    let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    let mut loss_history = Vec::with_capacity(cfg.epochs);
+    let mut val_history: Vec<(usize, f64)> = Vec::new();
+    let mut best: (f64, f32, Option<crate::models::Checkpoint>) = (-1.0, 0.5, None);
+    let mut stale_validations = 0usize;
+    let mut epochs_run = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        epochs_run = epoch + 1;
+        order.shuffle(&mut shuffle_rng);
+        let mut epoch_loss = 0.0f64;
+        for (batch_no, batch) in order.chunks(cfg.batch_size).enumerate() {
+            let results: Mutex<Vec<(usize, WorkerResult)>> =
+                Mutex::new(Vec::with_capacity(batch.len()));
+            let model_ref = &model;
+            crossbeam::thread::scope(|scope| {
+                for chunk in batch.chunks(batch.len().div_ceil(threads).max(1)) {
+                    let results = &results;
+                    scope.spawn(move |_| {
+                        for &qidx in chunk {
+                            let item = &items[qidx];
+                            let wr = query_gradients(
+                                model_ref,
+                                item,
+                                cfg.seed
+                                    ^ ((epoch as u64) << 32)
+                                    ^ ((batch_no as u64) << 16)
+                                    ^ qidx as u64,
+                            );
+                            results.lock().push((qidx, wr));
+                        }
+                    });
+                }
+            })
+            .expect("gradient worker panicked");
+            let mut results = results.into_inner();
+            // Fixed reduction order for determinism.
+            results.sort_by_key(|(key, _)| *key);
+
+            let mut grads = GradStore::for_store(model.store());
+            let mut all_stats = Vec::new();
+            for (_, wr) in results {
+                epoch_loss += wr.loss as f64;
+                grads.merge(wr.grads);
+                all_stats.extend(wr.bn_stats);
+            }
+            grads.scale(1.0 / batch.len() as f32);
+            if let Some(max_norm) = cfg.clip {
+                grads.clip_global_norm(max_norm);
+            }
+            opt.step(model.store_mut(), &grads);
+            model.apply_bn_stats(&all_stats);
+        }
+        loss_history.push((epoch_loss / items.len() as f64) as f32);
+
+        let is_last = epoch + 1 == cfg.epochs;
+        if is_last || (epoch + 1) % cfg.validate_every == 0 {
+            if let Some((gamma, f1)) = validate(&model) {
+                val_history.push((epoch + 1, f1));
+                if f1 > best.0 {
+                    best = (f1, gamma, Some(model.checkpoint()));
+                    stale_validations = 0;
+                } else {
+                    stale_validations += 1;
+                    if cfg.patience.is_some_and(|p| stale_validations >= p) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(ckpt) = &best.2 {
+        model.restore(ckpt);
+    }
+    let report = TrainReport {
+        epochs_run,
+        best_val_f1: best.0.max(0.0),
+        best_gamma: best.1,
+        loss_history,
+        val_history,
+        train_seconds: start.elapsed().as_secs_f64(),
+    };
+    TrainedModel { model, gamma: best.1, report }
+}
+
+/// The offline trainer of §4.2.
+#[derive(Clone, Debug, Default)]
+pub struct Trainer {
+    /// Training hyper-parameters.
+    pub config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Trains `model` on `train` queries, selecting weights and γ on
+    /// `val`; consumes and returns the model with its threshold.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty.
+    pub fn train<M: CsModel>(
+        &self,
+        model: M,
+        tensors: &GraphTensors,
+        train: &[Query],
+        val: &[Query],
+    ) -> TrainedModel<M> {
+        let items: Vec<TrainItem> =
+            train.iter().map(|q| TrainItem::prepare(&model, tensors, q)).collect();
+        let gamma_grid = self.config.gamma_grid.clone();
+        run_training(model, &items, &self.config, |m| {
+            if val.is_empty() {
+                None
+            } else {
+                Some(select_gamma(m, tensors, val, &gamma_grid))
+            }
+        })
+    }
+
+    /// The model-update mechanism sketched in the paper's conclusion: as
+    /// the deployed system collects more historical queries, fold them in
+    /// as additional training data, **warm-starting** from the already
+    /// trained weights instead of retraining from scratch.
+    ///
+    /// The previous weights are kept as the validation baseline: if the
+    /// update never beats them on `val`, the original weights and γ are
+    /// restored, so an update cannot make the deployed model worse on the
+    /// validation distribution.
+    pub fn update<M: CsModel>(
+        &self,
+        trained: TrainedModel<M>,
+        tensors: &GraphTensors,
+        original_queries: &[Query],
+        new_queries: &[Query],
+        val: &[Query],
+    ) -> TrainedModel<M> {
+        let TrainedModel { model, gamma: old_gamma, report: old_report } = trained;
+        let baseline_ckpt = model.checkpoint();
+        let baseline_f1 = if val.is_empty() {
+            0.0
+        } else {
+            evaluate(&model, tensors, val, old_gamma).f1
+        };
+        let all: Vec<Query> =
+            original_queries.iter().chain(new_queries).cloned().collect();
+        let items: Vec<TrainItem> =
+            all.iter().map(|q| TrainItem::prepare(&model, tensors, q)).collect();
+        let gamma_grid = self.config.gamma_grid.clone();
+        let mut updated = run_training(model, &items, &self.config, |m| {
+            if val.is_empty() {
+                None
+            } else {
+                Some(select_gamma(m, tensors, val, &gamma_grid))
+            }
+        });
+        if !val.is_empty() && updated.report.best_val_f1 < baseline_f1 {
+            // The update regressed: keep serving the original model.
+            updated.model.restore(&baseline_ckpt);
+            updated.gamma = old_gamma;
+            updated.report.best_val_f1 = baseline_f1;
+            updated.report.best_gamma = old_gamma;
+            updated.report.train_seconds += old_report.train_seconds;
+        }
+        updated
+    }
+}
+
+/// Computes one query's loss, parameter gradients and BN statistics.
+fn query_gradients<M: CsModel>(model: &M, item: &TrainItem, rng_seed: u64) -> WorkerResult {
+    let mut tape = Tape::new();
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let out = model.forward(&mut tape, &item.tensors, &item.qv, Mode::Train, &mut rng);
+    let loss =
+        qdgnn_nn::bce_loss(&mut tape, out.logits, Arc::clone(&item.target), item.weights.clone());
+    let loss_value = tape.value(loss).get(0, 0);
+    let mut grads = tape.backward(loss);
+    let mut store_grads = GradStore::for_store(model.store());
+    for (var, pid) in out.leaves {
+        if let Some(g) = grads.take(var) {
+            store_grads.accumulate(pid, g);
+        }
+    }
+    WorkerResult { loss: loss_value, grads: store_grads, bn_stats: out.bn_stats }
+}
+
+/// Encodes a query for `model` (attributes are dropped for models that
+/// cannot consume them, mirroring how QD-GNN handles EmA queries).
+pub fn encode_query(model: &dyn CsModel, tensors: &GraphTensors, q: &Query) -> QueryVectors {
+    let attrs: &[u32] = if model.uses_attributes() { &q.attrs } else { &[] };
+    QueryVectors::encode(tensors.n, tensors.d, &q.vertices, attrs)
+}
+
+/// One-hot ground-truth community vector `y_q` (n×1).
+pub fn target_vector(n: usize, truth: &[VertexId]) -> Dense {
+    let mut y = Dense::zeros(n, 1);
+    for &v in truth {
+        y.set(v as usize, 0, 1.0);
+    }
+    y
+}
+
+/// Predicts the community for one query with the full online pipeline
+/// (model inference + constrained BFS).
+pub fn predict_community(
+    model: &dyn CsModel,
+    tensors: &GraphTensors,
+    q: &Query,
+    gamma: f32,
+) -> Vec<VertexId> {
+    let qv = encode_query(model, tensors, q);
+    let scores = predict_scores(model, tensors, &qv);
+    let attributed = model.uses_attributes() && !q.attrs.is_empty();
+    identify_community(tensors, &q.vertices, &scores, gamma, attributed)
+}
+
+/// Predicts communities for a whole query set.
+pub fn predict_communities(
+    model: &dyn CsModel,
+    tensors: &GraphTensors,
+    queries: &[Query],
+    gamma: f32,
+) -> Vec<Vec<VertexId>> {
+    queries.iter().map(|q| predict_community(model, tensors, q, gamma)).collect()
+}
+
+/// Micro-averaged metrics of the full pipeline on a query set.
+pub fn evaluate(
+    model: &dyn CsModel,
+    tensors: &GraphTensors,
+    queries: &[Query],
+    gamma: f32,
+) -> CommunityMetrics {
+    let predicted = predict_communities(model, tensors, queries, gamma);
+    let truth: Vec<Vec<VertexId>> = queries.iter().map(|q| q.truth.clone()).collect();
+    CommunityMetrics::micro(&predicted, &truth)
+}
+
+/// Sweeps the γ grid on a query set and returns `(best_gamma, best_f1)`.
+///
+/// Model scores are computed once per query and reused across the grid.
+pub fn select_gamma(
+    model: &dyn CsModel,
+    tensors: &GraphTensors,
+    queries: &[Query],
+    grid: &[f32],
+) -> (f32, f64) {
+    let scored: Vec<(Vec<f32>, bool)> = queries
+        .iter()
+        .map(|q| {
+            let qv = encode_query(model, tensors, q);
+            let scores = predict_scores(model, tensors, &qv);
+            let attributed = model.uses_attributes() && !q.attrs.is_empty();
+            (scores, attributed)
+        })
+        .collect();
+    let truth: Vec<Vec<VertexId>> = queries.iter().map(|q| q.truth.clone()).collect();
+    let mut best = (grid.first().copied().unwrap_or(0.5), -1.0f64);
+    for &gamma in grid {
+        let predicted: Vec<Vec<VertexId>> = queries
+            .iter()
+            .zip(&scored)
+            .map(|(q, (scores, attributed))| {
+                identify_community(tensors, &q.vertices, scores, gamma, *attributed)
+            })
+            .collect();
+        let f1 = CommunityMetrics::micro(&predicted, &truth).f1;
+        if f1 > best.1 {
+            best = (gamma, f1);
+        }
+    }
+    (best.0, best.1.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::models::{AqdGnn, QdGnn, SimpleQdGnn};
+    use qdgnn_data::{presets, queries as qgen, AttrMode};
+    use qdgnn_graph::attributed::AdjNorm;
+
+    fn toy_setup(mode: AttrMode) -> (GraphTensors, Vec<Query>, Vec<Query>, Vec<Query>) {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let all = qgen::generate(&data, 60, 1, 2, mode, 11);
+        let split = qdgnn_data::QuerySplit::new(all, 30, 15, 15);
+        (t, split.train, split.val, split.test)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_toy_communities() {
+        let (t, train, val, test) = toy_setup(AttrMode::Empty);
+        let model = QdGnn::new(ModelConfig::fast(), t.d);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            validate_every: 10,
+            ..TrainConfig::fast()
+        });
+        let trained = trainer.train(model, &t, &train, &val);
+        let first = trained.report.loss_history[0];
+        let last = *trained.report.loss_history.last().unwrap();
+        assert!(last < first, "loss should decrease: {first} → {last}");
+        let metrics = evaluate(&trained.model, &t, &test, trained.gamma);
+        assert!(
+            metrics.f1 > 0.5,
+            "QD-GNN should learn toy communities, got F1={:.3}",
+            metrics.f1
+        );
+    }
+
+    #[test]
+    fn aqdgnn_trains_on_attributed_queries() {
+        let (t, train, val, test) = toy_setup(AttrMode::FromCommunity);
+        let model = AqdGnn::new(ModelConfig::fast(), t.d);
+        let trainer = Trainer::new(TrainConfig { epochs: 30, ..TrainConfig::fast() });
+        let trained = trainer.train(model, &t, &train, &val);
+        let metrics = evaluate(&trained.model, &t, &test, trained.gamma);
+        assert!(
+            metrics.f1 > 0.5,
+            "AQD-GNN should learn toy communities, got F1={:.3}",
+            metrics.f1
+        );
+    }
+
+    #[test]
+    fn simple_model_also_trains() {
+        let (t, train, val, _) = toy_setup(AttrMode::Empty);
+        let model = SimpleQdGnn::new(ModelConfig::fast());
+        let trainer = Trainer::new(TrainConfig { epochs: 15, ..TrainConfig::fast() });
+        let trained = trainer.train(model, &t, &train, &val);
+        assert!(trained.report.best_val_f1 > 0.0);
+        assert!(trained.report.loss_history.len() == 15);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (t, train, val, _) = toy_setup(AttrMode::Empty);
+        let cfg = TrainConfig { epochs: 5, ..TrainConfig::fast() };
+        let run = |threads: usize| {
+            let model = QdGnn::new(ModelConfig::fast(), t.d);
+            let trainer = Trainer::new(TrainConfig { threads, ..cfg.clone() });
+            let trained = trainer.train(model, &t, &train, &val);
+            trained.report.loss_history.clone()
+        };
+        assert_eq!(run(1), run(1), "same-thread runs must be identical");
+    }
+
+    #[test]
+    fn early_stopping_halts_stale_training() {
+        let (t, train, val, _) = toy_setup(AttrMode::Empty);
+        let cfg = TrainConfig {
+            epochs: 60,
+            validate_every: 2,
+            patience: Some(3),
+            ..TrainConfig::fast()
+        };
+        let trained = Trainer::new(cfg).train(
+            QdGnn::new(ModelConfig::fast(), t.d),
+            &t,
+            &train,
+            &val,
+        );
+        assert!(
+            trained.report.epochs_run < 60,
+            "toy data saturates quickly; patience should cut training short"
+        );
+        assert!(trained.report.best_val_f1 > 0.4);
+    }
+
+    #[test]
+    fn model_update_with_new_queries_does_not_regress() {
+        let (t, train, val, test) = toy_setup(AttrMode::FromCommunity);
+        let trainer = Trainer::new(TrainConfig { epochs: 15, ..TrainConfig::fast() });
+        let initial = trainer.train(
+            AqdGnn::new(ModelConfig::fast(), t.d),
+            &t,
+            &train[..10],
+            &val,
+        );
+        let f1_initial = evaluate(&initial.model, &t, &test, initial.gamma).f1;
+        // New "historical" queries arrive; warm-start update.
+        let updated = trainer.update(initial, &t, &train[..10], &train[10..], &val);
+        let f1_updated = evaluate(&updated.model, &t, &test, updated.gamma).f1;
+        // The guard guarantees no regression on validation; on test we
+        // allow slack but expect the update to roughly hold or improve.
+        assert!(
+            f1_updated >= f1_initial - 0.1,
+            "update regressed: {f1_initial:.3} → {f1_updated:.3}"
+        );
+        assert!(updated.report.best_val_f1 > 0.0);
+    }
+
+    #[test]
+    fn regressing_update_restores_original_weights() {
+        let (t, train, val, _) = toy_setup(AttrMode::Empty);
+        let trainer = Trainer::new(TrainConfig { epochs: 20, ..TrainConfig::fast() });
+        let initial = trainer.train(
+            QdGnn::new(ModelConfig::fast(), t.d),
+            &t,
+            &train,
+            &val,
+        );
+        let before = initial.model.store().snapshot();
+        let before_gamma = initial.gamma;
+        let baseline_f1 = evaluate(&initial.model, &t, &val, initial.gamma).f1;
+        // Destructive update: degenerate ground truth plus a huge learning
+        // rate wreck the weights, so the update's validation F1 drops
+        // below the baseline and the guard must restore the original.
+        let poison: Vec<Query> = train
+            .iter()
+            .take(8)
+            .map(|q| Query { truth: q.vertices.clone(), ..q.clone() })
+            .collect();
+        let bad_trainer =
+            Trainer::new(TrainConfig { epochs: 6, lr: 0.8, ..TrainConfig::fast() });
+        let updated = bad_trainer.update(initial, &t, &[], &poison, &val);
+        let after_f1 = evaluate(&updated.model, &t, &val, updated.gamma).f1;
+        assert!(after_f1 + 1e-9 >= baseline_f1, "guard must prevent regression");
+        assert_eq!(
+            updated.report.best_val_f1, baseline_f1,
+            "expected the poisoned update to trigger the restore path"
+        );
+        assert_eq!(updated.gamma, before_gamma);
+        let after = updated.model.store().snapshot();
+        for (a, b) in before.iter().zip(&after) {
+            assert!(a.approx_eq(b, 0.0), "weights must be restored exactly");
+        }
+    }
+
+    #[test]
+    fn target_vector_marks_members() {
+        let y = target_vector(4, &[1, 3]);
+        assert_eq!(y.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn select_gamma_returns_grid_member() {
+        let (t, train, ..) = toy_setup(AttrMode::Empty);
+        let model = QdGnn::new(ModelConfig::fast(), t.d);
+        let grid = [0.25, 0.5, 0.75];
+        let (gamma, f1) = select_gamma(&model, &t, &train[..5], &grid);
+        assert!(grid.contains(&gamma));
+        assert!((0.0..=1.0).contains(&f1));
+    }
+}

@@ -1,0 +1,230 @@
+//! Plain-text persistence for datasets and query sets, so examples and
+//! experiments can cache generated data across runs.
+//!
+//! Format (line oriented, whitespace separated):
+//!
+//! ```text
+//! qdgnn-dataset v1
+//! name <name>
+//! vertices <n>
+//! vocab <d>
+//! edges <m>
+//! <u> <v>            (m lines)
+//! attrs
+//! <a1> <a2> …        (n lines; "-" for an empty set)
+//! communities <K>
+//! <v1> <v2> …        (K lines)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::generator::Dataset;
+use crate::queries::Query;
+use qdgnn_graph::attributed::AttrId;
+use qdgnn_graph::{AttributedGraph, Graph, VertexId};
+
+/// Writes a dataset to `path` in the documented text format.
+pub fn save_dataset(path: impl AsRef<Path>, dataset: &Dataset) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let g = dataset.graph.graph();
+    writeln!(w, "qdgnn-dataset v1")?;
+    writeln!(w, "name {}", dataset.name)?;
+    writeln!(w, "vertices {}", g.num_vertices())?;
+    writeln!(w, "vocab {}", dataset.graph.num_attrs())?;
+    writeln!(w, "edges {}", g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    writeln!(w, "attrs")?;
+    for v in 0..g.num_vertices() {
+        let set = dataset.graph.attrs_of(v as VertexId);
+        if set.is_empty() {
+            writeln!(w, "-")?;
+        } else {
+            writeln!(w, "{}", join(set))?;
+        }
+    }
+    writeln!(w, "communities {}", dataset.communities.len())?;
+    for members in &dataset.communities {
+        writeln!(w, "{}", join(members))?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset previously written by [`save_dataset`].
+pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let mut next = || -> io::Result<String> {
+        lines.next().ok_or_else(|| bad("unexpected end of file"))?
+    };
+    expect(&next()?, "qdgnn-dataset v1")?;
+    let name = field(&next()?, "name")?;
+    let n: usize = field(&next()?, "vertices")?.parse().map_err(|_| bad("bad vertex count"))?;
+    let d: usize = field(&next()?, "vocab")?.parse().map_err(|_| bad("bad vocab size"))?;
+    let m: usize = field(&next()?, "edges")?.parse().map_err(|_| bad("bad edge count"))?;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let line = next()?;
+        let mut it = line.split_whitespace();
+        let u: VertexId = parse_next(&mut it)?;
+        let v: VertexId = parse_next(&mut it)?;
+        edges.push((u, v));
+    }
+    expect(&next()?, "attrs")?;
+    let mut attrs: Vec<Vec<AttrId>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = next()?;
+        if line.trim() == "-" {
+            attrs.push(Vec::new());
+        } else {
+            attrs.push(parse_list(&line)?);
+        }
+    }
+    let k: usize =
+        field(&next()?, "communities")?.parse().map_err(|_| bad("bad community count"))?;
+    let mut communities = Vec::with_capacity(k);
+    for _ in 0..k {
+        communities.push(parse_list(&next()?)?);
+    }
+    let graph = Graph::from_edges(n, &edges);
+    Ok(Dataset { name, graph: AttributedGraph::new(graph, attrs, d), communities })
+}
+
+/// Writes a query set (one query per line: `vertices | attrs | truth`).
+pub fn save_queries(path: impl AsRef<Path>, queries: &[Query]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "qdgnn-queries v1 {}", queries.len())?;
+    for q in queries {
+        writeln!(
+            w,
+            "{} | {} | {}",
+            join(&q.vertices),
+            if q.attrs.is_empty() { "-".to_string() } else { join(&q.attrs) },
+            join(&q.truth)
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a query set written by [`save_queries`].
+pub fn load_queries(path: impl AsRef<Path>) -> io::Result<Vec<Query>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or_else(|| bad("empty query file"))??;
+    let count: usize = header
+        .strip_prefix("qdgnn-queries v1 ")
+        .ok_or_else(|| bad("bad query header"))?
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad query count"))?;
+    let mut out = Vec::with_capacity(count);
+    for line in lines.take(count) {
+        let line = line?;
+        let mut parts = line.split('|');
+        let vertices = parse_list(parts.next().ok_or_else(|| bad("missing vertices"))?)?;
+        let attrs_part = parts.next().ok_or_else(|| bad("missing attrs"))?.trim();
+        let attrs =
+            if attrs_part == "-" { Vec::new() } else { parse_list(attrs_part)? };
+        let truth = parse_list(parts.next().ok_or_else(|| bad("missing truth"))?)?;
+        out.push(Query { vertices, attrs, truth });
+    }
+    if out.len() != count {
+        return Err(bad("query file truncated"));
+    }
+    Ok(out)
+}
+
+fn join<T: std::fmt::Display>(items: &[T]) -> String {
+    items.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+}
+
+fn parse_list<T: std::str::FromStr>(line: &str) -> io::Result<Vec<T>> {
+    line.split_whitespace()
+        .map(|t| t.parse::<T>().map_err(|_| bad("bad number")))
+        .collect()
+}
+
+fn parse_next<T: std::str::FromStr>(it: &mut std::str::SplitWhitespace<'_>) -> io::Result<T> {
+    it.next().ok_or_else(|| bad("missing field"))?.parse().map_err(|_| bad("bad number"))
+}
+
+fn field(line: &str, key: &str) -> io::Result<String> {
+    line.strip_prefix(key)
+        .map(|rest| rest.trim().to_string())
+        .ok_or_else(|| bad(&format!("expected `{key} …`, got `{line}`")))
+}
+
+fn expect(line: &str, want: &str) -> io::Result<()> {
+    if line.trim() == want {
+        Ok(())
+    } else {
+        Err(bad(&format!("expected `{want}`, got `{line}`")))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::queries::{generate, AttrMode};
+
+    #[test]
+    fn dataset_round_trip() {
+        let d = presets::toy();
+        let dir = std::env::temp_dir().join("qdgnn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.txt");
+        save_dataset(&path, &d).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(loaded.name, d.name);
+        assert_eq!(loaded.graph.num_vertices(), d.graph.num_vertices());
+        assert_eq!(loaded.graph.graph().num_edges(), d.graph.graph().num_edges());
+        assert_eq!(loaded.graph.num_attrs(), d.graph.num_attrs());
+        assert_eq!(loaded.communities, d.communities);
+        for v in 0..d.graph.num_vertices() as u32 {
+            assert_eq!(loaded.graph.attrs_of(v), d.graph.attrs_of(v));
+        }
+    }
+
+    #[test]
+    fn queries_round_trip() {
+        let d = presets::toy();
+        let qs = generate(&d, 12, 1, 3, AttrMode::FromNode, 1);
+        let dir = std::env::temp_dir().join("qdgnn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queries.txt");
+        save_queries(&path, &qs).unwrap();
+        let loaded = load_queries(&path).unwrap();
+        assert_eq!(loaded, qs);
+    }
+
+    #[test]
+    fn empty_attr_queries_round_trip() {
+        let d = presets::toy();
+        let qs = generate(&d, 4, 1, 2, AttrMode::Empty, 2);
+        let dir = std::env::temp_dir().join("qdgnn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queries_ema.txt");
+        save_queries(&path, &qs).unwrap();
+        let loaded = load_queries(&path).unwrap();
+        assert!(loaded.iter().all(|q| q.attrs.is_empty()));
+        assert_eq!(loaded, qs);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("qdgnn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, "not a dataset\n").unwrap();
+        assert!(load_dataset(&path).is_err());
+        assert!(load_queries(&path).is_err());
+    }
+}

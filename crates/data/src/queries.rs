@@ -1,0 +1,257 @@
+//! Query generation (§7.1.3) and data splitting (§7.1.4).
+//!
+//! For each dataset the paper generates 350 (query, ground-truth) pairs;
+//! query vertex sets hold 1–3 vertices drawn from a ground-truth
+//! community, and the query attribute set comes in three regimes sharing
+//! the same vertex sets:
+//!
+//! * **EmA** — empty attributes (for comparing with non-attributed CS);
+//! * **AFC** — the 5 most common attributes of the ground-truth
+//!   community (the favourable regime used by the ACQ/ATC papers);
+//! * **AFN** — the 5 most common attributes of the *query vertices*
+//!   (closer to what a real user would provide; may be unrelated to the
+//!   community).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::Dataset;
+use qdgnn_graph::attributed::AttrId;
+use qdgnn_graph::VertexId;
+
+/// Number of query attributes per attributed query (paper: 5).
+pub const QUERY_ATTRS: usize = 5;
+
+/// The query-attribute regime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttrMode {
+    /// `F_q = ∅` (EmA).
+    Empty,
+    /// 5 most common attributes of the ground-truth community (AFC).
+    FromCommunity,
+    /// 5 most common attributes of the query vertices (AFN).
+    FromNode,
+}
+
+impl AttrMode {
+    /// The paper's abbreviation for this regime.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttrMode::Empty => "EmA",
+            AttrMode::FromCommunity => "AFC",
+            AttrMode::FromNode => "AFN",
+        }
+    }
+}
+
+/// One community-search query with its ground truth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// Query vertices `V_q` (1–3 vertices from the ground-truth community).
+    pub vertices: Vec<VertexId>,
+    /// Query attributes `F_q` (empty under EmA).
+    pub attrs: Vec<AttrId>,
+    /// The ground-truth community (sorted).
+    pub truth: Vec<VertexId>,
+}
+
+/// A reusable query skeleton: vertex set + ground-truth community, before
+/// an attribute regime is applied (the paper shares vertex sets across
+/// EmA/AFC/AFN for fair comparison).
+#[derive(Clone, Debug)]
+pub struct QueryBase {
+    /// Query vertices.
+    pub vertices: Vec<VertexId>,
+    /// Index of the ground-truth community in the dataset.
+    pub community: usize,
+}
+
+/// Generates `count` query skeletons with `min_vertices..=max_vertices`
+/// query vertices each, cycling through communities so every community is
+/// queried.
+///
+/// # Panics
+/// Panics if the dataset has no communities or `min_vertices` is 0.
+pub fn generate_bases(
+    dataset: &Dataset,
+    count: usize,
+    min_vertices: usize,
+    max_vertices: usize,
+    seed: u64,
+) -> Vec<QueryBase> {
+    assert!(!dataset.communities.is_empty(), "dataset has no ground-truth communities");
+    assert!(min_vertices >= 1 && min_vertices <= max_vertices, "invalid vertex-count range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bases = Vec::with_capacity(count);
+    for i in 0..count {
+        let c = i % dataset.communities.len();
+        let members = &dataset.communities[c];
+        let k = rng.gen_range(min_vertices..=max_vertices).min(members.len());
+        let mut vertices: Vec<VertexId> =
+            members.choose_multiple(&mut rng, k).copied().collect();
+        vertices.sort_unstable();
+        bases.push(QueryBase { vertices, community: c });
+    }
+    bases
+}
+
+/// Materializes query skeletons under an attribute regime.
+pub fn materialize(dataset: &Dataset, bases: &[QueryBase], mode: AttrMode) -> Vec<Query> {
+    bases
+        .iter()
+        .map(|base| {
+            let truth = dataset.communities[base.community].clone();
+            let attrs = match mode {
+                AttrMode::Empty => Vec::new(),
+                AttrMode::FromCommunity => {
+                    dataset.graph.most_common_attrs(&truth, QUERY_ATTRS)
+                }
+                AttrMode::FromNode => {
+                    dataset.graph.most_common_attrs(&base.vertices, QUERY_ATTRS)
+                }
+            };
+            Query { vertices: base.vertices.clone(), attrs, truth }
+        })
+        .collect()
+}
+
+/// Convenience: skeletons + materialization in one call.
+pub fn generate(
+    dataset: &Dataset,
+    count: usize,
+    min_vertices: usize,
+    max_vertices: usize,
+    mode: AttrMode,
+    seed: u64,
+) -> Vec<Query> {
+    let bases = generate_bases(dataset, count, min_vertices, max_vertices, seed);
+    materialize(dataset, &bases, mode)
+}
+
+/// A train/validation/test split of a query set.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySplit {
+    /// Training queries (paper default: 150).
+    pub train: Vec<Query>,
+    /// Validation queries for weight/γ selection (paper default: 100).
+    pub val: Vec<Query>,
+    /// Held-out test queries (paper default: 100).
+    pub test: Vec<Query>,
+}
+
+impl QuerySplit {
+    /// Splits `queries` into the first `train`, next `val`, next `test`
+    /// entries (the paper's 150:100:100 by default).
+    ///
+    /// # Panics
+    /// Panics if `queries` has fewer than `train + val + test` entries.
+    pub fn new(mut queries: Vec<Query>, train: usize, val: usize, test: usize) -> Self {
+        assert!(
+            queries.len() >= train + val + test,
+            "need {} queries, have {}",
+            train + val + test,
+            queries.len()
+        );
+        let test_q = queries.split_off(train + val);
+        let val_q = queries.split_off(train);
+        QuerySplit { train: queries, val: val_q, test: test_q[..test].to_vec() }
+    }
+
+    /// The paper's default 150:100:100 split of a 350-query set.
+    pub fn paper_default(queries: Vec<Query>) -> Self {
+        Self::new(queries, 150, 100, 100)
+    }
+
+    /// Total number of queries across the three parts.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn bases_cycle_communities_and_respect_bounds() {
+        let d = presets::toy();
+        let bases = generate_bases(&d, 9, 1, 3, 1);
+        assert_eq!(bases.len(), 9);
+        // Round-robin over the 3 toy communities.
+        assert_eq!(bases[0].community, 0);
+        assert_eq!(bases[4].community, 1);
+        for b in &bases {
+            assert!((1..=3).contains(&b.vertices.len()));
+            for v in &b.vertices {
+                assert!(d.communities[b.community].contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn bases_deterministic() {
+        let d = presets::toy();
+        let a = generate_bases(&d, 10, 1, 3, 5);
+        let b = generate_bases(&d, 10, 1, 3, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.vertices, y.vertices);
+        }
+    }
+
+    #[test]
+    fn attr_modes_share_vertices() {
+        let d = presets::toy();
+        let bases = generate_bases(&d, 6, 1, 3, 2);
+        let ema = materialize(&d, &bases, AttrMode::Empty);
+        let afc = materialize(&d, &bases, AttrMode::FromCommunity);
+        let afn = materialize(&d, &bases, AttrMode::FromNode);
+        for i in 0..6 {
+            assert_eq!(ema[i].vertices, afc[i].vertices);
+            assert_eq!(afc[i].vertices, afn[i].vertices);
+            assert!(ema[i].attrs.is_empty());
+            assert!(!afc[i].attrs.is_empty() && afc[i].attrs.len() <= QUERY_ATTRS);
+            assert!(!afn[i].attrs.is_empty() && afn[i].attrs.len() <= QUERY_ATTRS);
+            assert_eq!(ema[i].truth, afn[i].truth);
+        }
+    }
+
+    #[test]
+    fn afc_attrs_come_from_community_topics() {
+        let d = presets::toy();
+        let bases = generate_bases(&d, 3, 1, 1, 3);
+        let afc = materialize(&d, &bases, AttrMode::FromCommunity);
+        for q in &afc {
+            // Every AFC attribute must be carried by some community member.
+            for &a in &q.attrs {
+                assert!(q.truth.iter().any(|&v| d.graph.has_attr(v, a)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_sizes() {
+        let d = presets::toy();
+        let queries = generate(&d, 350, 1, 3, AttrMode::FromCommunity, 4);
+        let split = QuerySplit::paper_default(queries);
+        assert_eq!(split.train.len(), 150);
+        assert_eq!(split.val.len(), 100);
+        assert_eq!(split.test.len(), 100);
+        assert_eq!(split.len(), 350);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 20 queries")]
+    fn split_rejects_short_input() {
+        let d = presets::toy();
+        let queries = generate(&d, 10, 1, 1, AttrMode::Empty, 4);
+        let _ = QuerySplit::new(queries, 10, 5, 5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the dataset generator and query machinery.
+
+use proptest::prelude::*;
+use qdgnn_data::queries::{generate_bases, materialize};
+use qdgnn_data::{enlarge_within_communities, AttrMode, GeneratorConfig};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        2usize..6,
+        6.0f64..25.0,
+        0.0f64..0.5,
+        20usize..80,
+        2.0f64..8.0,
+        1u64..10_000,
+    )
+        .prop_map(|(k, size, overlap, vocab, attrs, seed)| GeneratorConfig {
+            num_communities: k,
+            community_size_mean: size,
+            membership_overlap: overlap,
+            vocab_size: vocab,
+            topics_per_community: (vocab / 4).max(2),
+            attrs_per_vertex_mean: attrs,
+            seed,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generator_produces_valid_datasets(cfg in config_strategy()) {
+        let data = cfg.generate("prop");
+        let n = data.graph.num_vertices();
+        prop_assert!(n >= 2 * cfg.num_communities);
+        prop_assert_eq!(data.communities.len(), cfg.num_communities);
+        // Attribute ids within the vocabulary; memberships within range.
+        for v in 0..n as u32 {
+            for &a in data.graph.attrs_of(v) {
+                prop_assert!((a as usize) < cfg.vocab_size);
+            }
+        }
+        for c in &data.communities {
+            prop_assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted, deduped members");
+            prop_assert!(c.iter().all(|&v| (v as usize) < n));
+        }
+        // The |E_B| statistic equals the sum of attribute set sizes.
+        let manual: usize = (0..n as u32).map(|v| data.graph.attrs_of(v).len()).sum();
+        prop_assert_eq!(data.graph.bipartite_edge_count(), manual);
+    }
+
+    #[test]
+    fn queries_always_come_from_their_community(cfg in config_strategy(), count in 1usize..20) {
+        let data = cfg.generate("prop");
+        let bases = generate_bases(&data, count, 1, 3, cfg.seed ^ 0xF00);
+        prop_assert_eq!(bases.len(), count);
+        for b in &bases {
+            let members = &data.communities[b.community];
+            prop_assert!(!b.vertices.is_empty() && b.vertices.len() <= 3);
+            for v in &b.vertices {
+                prop_assert!(members.contains(v));
+            }
+        }
+        // AFN attributes always exist on some query vertex.
+        let afn = materialize(&data, &bases, AttrMode::FromNode);
+        for q in &afn {
+            for &a in &q.attrs {
+                prop_assert!(q.vertices.iter().any(|&v| data.graph.has_attr(v, a)));
+            }
+        }
+    }
+
+    #[test]
+    fn enlargement_monotone_in_expansion(cfg in config_strategy()) {
+        let data = cfg.generate("prop");
+        let e25 = enlarge_within_communities(&data, 0.25, 1);
+        let e100 = enlarge_within_communities(&data, 1.0, 1);
+        prop_assert!(e25.graph.num_vertices() >= data.graph.num_vertices());
+        prop_assert!(e100.graph.num_vertices() >= e25.graph.num_vertices());
+        // Full expansion adds one vertex per intra-community edge, so the
+        // edge count grows by exactly 2 per inserted vertex.
+        let inserted = e100.graph.num_vertices() - data.graph.num_vertices();
+        prop_assert_eq!(
+            e100.graph.graph().num_edges(),
+            data.graph.graph().num_edges() + 2 * inserted
+        );
+    }
+
+    #[test]
+    fn stats_line_mentions_all_columns(cfg in config_strategy()) {
+        let data = cfg.generate("named");
+        let line = data.stats_line();
+        for needle in ["named:", "|V|=", "|E|=", "|F|=", "|E_B|=", "K=", "AS="] {
+            prop_assert!(line.contains(needle), "missing `{needle}` in `{line}`");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Ablation studies of §7.5: Feature Fusion (Fig. 8a), threshold γ
+//! (Fig. 8b), data-split ratio (Fig. 9), epoch count and dropout rate
+//! (Fig. 10).
+
+use qdgnn_core::config::ModelConfig;
+use qdgnn_core::models::{AqdGnn, QdGnn};
+use qdgnn_core::train::Trainer;
+use qdgnn_data::queries::{generate_bases, materialize};
+use qdgnn_data::{AttrMode, Dataset, QuerySplit};
+
+use crate::harness::{self, DatasetContext};
+use crate::profile::{Profile, RunConfig};
+use crate::table::ResultTable;
+
+/// The γ grid of Figure 8b.
+pub fn gamma_grid() -> Vec<f32> {
+    (1..=19).map(|i| i as f32 * 0.05).collect()
+}
+
+/// Datasets used for the parameter sweeps (the paper uses four; the
+/// non-paper profiles take the first of their own sets).
+fn sweep_datasets(run: &RunConfig) -> Vec<Dataset> {
+    let mut sets = run.datasets();
+    sets.truncate(4);
+    sets
+}
+
+/// Figure 8a: F1 with and without Feature Fusion, for QD-GNN (EmA) and
+/// AQD-GNN (AFC).
+pub fn fig8a(run: &RunConfig) -> ResultTable {
+    let datasets = run.datasets();
+    let mut columns: Vec<&str> = vec!["Method"];
+    let names: Vec<String> = datasets.iter().map(|d| d.name.clone()).collect();
+    columns.extend(names.iter().map(String::as_str));
+    let mut table = ResultTable::new("Figure 8a — Feature Fusion ablation (F1)", &columns);
+
+    const ROWS: [&str; 4] = ["QD-GNN", "QD-GNN-noFu", "AQD-GNN", "AQD-GNN-noFu"];
+    let mut scores: Vec<Vec<f64>> = vec![Vec::new(); ROWS.len()];
+
+    for dataset in datasets {
+        eprintln!("[fig8a] {}", dataset.stats_line());
+        let ctx = DatasetContext::prepare(dataset, run);
+        let ema = ctx.split_multi(AttrMode::Empty, run);
+        let afc = ctx.split_multi(AttrMode::FromCommunity, run);
+        let trainer = Trainer::new(run.profile.train_config(run.seed));
+        let mc = run.profile.model_config(run.seed);
+        let nofu = ModelConfig { feature_fusion: false, ..mc.clone() };
+
+        let qd = trainer.train(QdGnn::new(mc.clone(), ctx.tensors.d), &ctx.tensors, &ema.train, &ema.val);
+        scores[0].push(harness::model_test_f1(&qd.model, &ctx.tensors, &ema.test, qd.gamma));
+        let qd_nofu =
+            trainer.train(QdGnn::new(nofu.clone(), ctx.tensors.d), &ctx.tensors, &ema.train, &ema.val);
+        scores[1].push(harness::model_test_f1(
+            &qd_nofu.model,
+            &ctx.tensors,
+            &ema.test,
+            qd_nofu.gamma,
+        ));
+        let aqd =
+            trainer.train(AqdGnn::new(mc, ctx.tensors.d), &ctx.tensors, &afc.train, &afc.val);
+        scores[2].push(harness::model_test_f1(&aqd.model, &ctx.tensors, &afc.test, aqd.gamma));
+        let aqd_nofu =
+            trainer.train(AqdGnn::new(nofu, ctx.tensors.d), &ctx.tensors, &afc.train, &afc.val);
+        scores[3].push(harness::model_test_f1(
+            &aqd_nofu.model,
+            &ctx.tensors,
+            &afc.test,
+            aqd_nofu.gamma,
+        ));
+    }
+    for (method, row) in ROWS.iter().zip(&scores) {
+        table.push_values(method, row, 3);
+    }
+    table
+}
+
+/// Figure 8b: test F1 of a trained AQD-GNN (AFC) as γ varies 0.05–0.95.
+pub fn fig8b(run: &RunConfig) -> ResultTable {
+    let grid = gamma_grid();
+    let mut columns: Vec<String> = vec!["Dataset".into()];
+    columns.extend(grid.iter().map(|g| format!("{g:.2}")));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new("Figure 8b — Threshold γ sensitivity (F1)", &col_refs);
+
+    for dataset in sweep_datasets(run) {
+        eprintln!("[fig8b] {}", dataset.stats_line());
+        let name = dataset.name.clone();
+        let ctx = DatasetContext::prepare(dataset, run);
+        let afc = ctx.split_multi(AttrMode::FromCommunity, run);
+        let aqd = harness::train_aqd(&ctx, run, &afc);
+        let values: Vec<f64> = grid
+            .iter()
+            .map(|&g| harness::model_test_f1(&aqd.model, &ctx.tensors, &afc.test, g))
+            .collect();
+        table.push_values(&name, &values, 3);
+    }
+    table
+}
+
+/// The training-set sizes of Figure 9a, scaled by profile.
+pub fn train_size_grid(profile: Profile) -> Vec<usize> {
+    match profile {
+        Profile::Fast => vec![15, 30, 45, 60],
+        Profile::Std => vec![20, 50, 90],
+        Profile::Paper => vec![50, 100, 150, 200, 250, 300, 350],
+    }
+}
+
+/// The validation-set sizes of Figure 9b, scaled by profile.
+pub fn val_size_grid(profile: Profile) -> Vec<usize> {
+    match profile {
+        Profile::Fast => vec![10, 20, 30],
+        Profile::Std => vec![20, 40, 60],
+        Profile::Paper => vec![50, 100, 150, 200],
+    }
+}
+
+/// Figure 9: F1 as the training-set (9a) or validation-set (9b) size
+/// varies. `vary_train` selects the panel.
+pub fn fig9(run: &RunConfig, vary_train: bool) -> ResultTable {
+    let (_, base_train, base_val, n_test) = run.profile.query_counts();
+    let grid =
+        if vary_train { train_size_grid(run.profile) } else { val_size_grid(run.profile) };
+    let max_needed = if vary_train {
+        grid.iter().max().unwrap() + base_val + n_test
+    } else {
+        base_train + grid.iter().max().unwrap() + n_test
+    };
+
+    let title = if vary_train {
+        "Figure 9a — Training-set size sweep (F1)"
+    } else {
+        "Figure 9b — Validation-set size sweep (F1)"
+    };
+    let mut columns: Vec<String> = vec!["Dataset".into()];
+    columns.extend(grid.iter().map(|s| s.to_string()));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(title, &col_refs);
+
+    for dataset in sweep_datasets(run) {
+        eprintln!("[fig9] {}", dataset.stats_line());
+        let name = dataset.name.clone();
+        let mc = run.profile.model_config(run.seed);
+        let tensors = qdgnn_core::GraphTensors::new(
+            &dataset.graph,
+            mc.adj_norm,
+            mc.fusion_graph_attr_cap,
+        );
+        let bases = generate_bases(&dataset, max_needed, 1, 3, run.seed);
+        let queries = materialize(&dataset, &bases, AttrMode::FromCommunity);
+        let mut values = Vec::with_capacity(grid.len());
+        for &size in &grid {
+            let (n_train, n_val) =
+                if vary_train { (size, base_val) } else { (base_train, size) };
+            let split = QuerySplit::new(queries.clone(), n_train, n_val, n_test);
+            let trainer = Trainer::new(run.profile.train_config(run.seed));
+            let trained = trainer.train(
+                AqdGnn::new(mc.clone(), tensors.d),
+                &tensors,
+                &split.train,
+                &split.val,
+            );
+            values.push(harness::model_test_f1(
+                &trained.model,
+                &tensors,
+                &split.test,
+                trained.gamma,
+            ));
+        }
+        table.push_values(&name, &values, 3);
+    }
+    table
+}
+
+/// Figure 10a: validation F1 along the training trajectory (the paper's
+/// epoch-number sweep, read off one long run's validation history).
+pub fn fig10a(run: &RunConfig) -> ResultTable {
+    let epochs = match run.profile {
+        Profile::Fast => 60,
+        Profile::Std => 120,
+        Profile::Paper => 1000,
+    };
+    let every = (epochs / 12).max(1);
+
+    let mut table_cols: Vec<String> = vec!["Dataset".into()];
+    let checkpoints: Vec<usize> = (1..=epochs).filter(|e| e % every == 0).collect();
+    table_cols.extend(checkpoints.iter().map(|e| e.to_string()));
+    let col_refs: Vec<&str> = table_cols.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new("Figure 10a — Epoch sweep (validation F1)", &col_refs);
+
+    for dataset in sweep_datasets(run) {
+        eprintln!("[fig10a] {}", dataset.stats_line());
+        let name = dataset.name.clone();
+        let ctx = DatasetContext::prepare(dataset, run);
+        let afc = ctx.split_multi(AttrMode::FromCommunity, run);
+        let mut tc = run.profile.train_config(run.seed);
+        tc.epochs = epochs;
+        tc.validate_every = every;
+        let trained = Trainer::new(tc).train(
+            AqdGnn::new(run.profile.model_config(run.seed), ctx.tensors.d),
+            &ctx.tensors,
+            &afc.train,
+            &afc.val,
+        );
+        let mut values = Vec::with_capacity(checkpoints.len());
+        for &e in &checkpoints {
+            let f1 = trained
+                .report
+                .val_history
+                .iter()
+                .filter(|(ep, _)| *ep <= e)
+                .map(|(_, f1)| *f1)
+                .next_back()
+                .unwrap_or(0.0);
+            values.push(f1);
+        }
+        table.push_values(&name, &values, 3);
+    }
+    table
+}
+
+/// The dropout grid of Figure 10b.
+pub fn dropout_grid() -> Vec<f32> {
+    vec![0.1, 0.3, 0.5, 0.7, 0.9]
+}
+
+/// Figure 10b: test F1 as the dropout rate varies.
+pub fn fig10b(run: &RunConfig) -> ResultTable {
+    let grid = dropout_grid();
+    let mut columns: Vec<String> = vec!["Dataset".into()];
+    columns.extend(grid.iter().map(|p| format!("{p:.1}")));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new("Figure 10b — Dropout-rate sweep (F1)", &col_refs);
+
+    for dataset in sweep_datasets(run) {
+        eprintln!("[fig10b] {}", dataset.stats_line());
+        let name = dataset.name.clone();
+        let ctx = DatasetContext::prepare(dataset, run);
+        let afc = ctx.split_multi(AttrMode::FromCommunity, run);
+        let mut values = Vec::with_capacity(grid.len());
+        for &p in &grid {
+            let mc = ModelConfig { dropout: p, ..run.profile.model_config(run.seed) };
+            let trained = Trainer::new(run.profile.train_config(run.seed)).train(
+                AqdGnn::new(mc, ctx.tensors.d),
+                &ctx.tensors,
+                &afc.train,
+                &afc.val,
+            );
+            values.push(harness::model_test_f1(
+                &trained.model,
+                &ctx.tensors,
+                &afc.test,
+                trained.gamma,
+            ));
+        }
+        table.push_values(&name, &values, 3);
+    }
+    table
+}

@@ -1,0 +1,19 @@
+//! Runs the extension ablations (adjacency normalization, fusion
+//! aggregator) — design choices the paper leaves open.
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("extras"));
+    let a = qdgnn_experiments::extras::adj_norm_ablation(&run);
+    println!("{a}");
+    a.save_csv(run.out_dir.join("extra_adjnorm.csv")).expect("write CSV");
+    let b = qdgnn_experiments::extras::fusion_agg_ablation(&run);
+    println!("{b}");
+    b.save_csv(run.out_dir.join("extra_fusionagg.csv")).expect("write CSV");
+    let c = qdgnn_experiments::extras::complexity_scaling(&run);
+    println!("{c}");
+    c.save_csv(run.out_dir.join("extra_complexity.csv")).expect("write CSV");
+    eprintln!(
+        "wrote {}/extra_adjnorm.csv, extra_fusionagg.csv, extra_complexity.csv",
+        run.out_dir.display()
+    );
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 10 (epoch-number and dropout-rate sweeps).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("fig10"));
+    let a = qdgnn_experiments::ablation::fig10a(&run);
+    println!("{a}");
+    a.save_csv(run.out_dir.join("fig10a.csv")).expect("write CSV");
+    let b = qdgnn_experiments::ablation::fig10b(&run);
+    println!("{b}");
+    b.save_csv(run.out_dir.join("fig10b.csv")).expect("write CSV");
+    eprintln!("wrote {}/fig10a.csv and fig10b.csv", run.out_dir.display());
+}

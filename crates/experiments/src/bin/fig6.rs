@@ -1,0 +1,10 @@
+//! Reproduces Figure 6 (non-attributed community search F1).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("fig6"));
+    let table = qdgnn_experiments::fig6::run(&run);
+    println!("{table}");
+    let path = run.out_dir.join("fig6.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

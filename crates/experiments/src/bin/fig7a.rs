@@ -1,0 +1,10 @@
+//! Reproduces Figure 7a (ACS F1, one-vertex queries: ACQ vs AQD-GNN).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("fig7a"));
+    let table = qdgnn_experiments::fig7::run(&run, qdgnn_experiments::fig7::Panel::OneVertex);
+    println!("{table}");
+    let path = run.out_dir.join("fig7a.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

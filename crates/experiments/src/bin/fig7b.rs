@@ -1,0 +1,10 @@
+//! Reproduces Figure 7b (ACS F1, multi-vertex queries: ATC vs AQD-GNN).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("fig7b"));
+    let table = qdgnn_experiments::fig7::run(&run, qdgnn_experiments::fig7::Panel::MultiVertex);
+    println!("{table}");
+    let path = run.out_dir.join("fig7b.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,10 @@
+//! Reproduces Figure 8a (Feature Fusion ablation).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("fig8a"));
+    let table = qdgnn_experiments::ablation::fig8a(&run);
+    println!("{table}");
+    let path = run.out_dir.join("fig8a.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,10 @@
+//! Reproduces Figure 8b (threshold γ sensitivity).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("fig8b"));
+    let table = qdgnn_experiments::ablation::fig8b(&run);
+    println!("{table}");
+    let path = run.out_dir.join("fig8b.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

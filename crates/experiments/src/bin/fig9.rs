@@ -1,0 +1,12 @@
+//! Reproduces Figure 9 (data-split-ratio sweeps, both panels).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("fig9"));
+    let a = qdgnn_experiments::ablation::fig9(&run, true);
+    println!("{a}");
+    a.save_csv(run.out_dir.join("fig9a.csv")).expect("write CSV");
+    let b = qdgnn_experiments::ablation::fig9(&run, false);
+    println!("{b}");
+    b.save_csv(run.out_dir.join("fig9b.csv")).expect("write CSV");
+    eprintln!("wrote {}/fig9a.csv and fig9b.csv", run.out_dir.display());
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table 2 (average query time in milliseconds).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("table2"));
+    let table = qdgnn_experiments::table2::run(&run);
+    println!("{table}");
+    let path = run.out_dir.join("table2.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

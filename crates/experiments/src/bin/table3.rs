@@ -1,0 +1,10 @@
+//! Reproduces Table 3 (interactive community search: F1 % and s/interaction).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("table3"));
+    let table = qdgnn_experiments::table3::run(&run);
+    println!("{table}");
+    let path = run.out_dir.join("table3.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table 4 (ACS on large graphs: Reddit / Enlarged_Reddit).
+fn main() {
+    let run = qdgnn_experiments::RunConfig::from_args();
+    eprintln!("{}", run.banner("table4"));
+    let table = qdgnn_experiments::table4::run(&run);
+    println!("{table}");
+    let path = run.out_dir.join("table4.csv");
+    table.save_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

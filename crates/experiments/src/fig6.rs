@@ -1,0 +1,66 @@
+//! Figure 6: non-attributed community search — F1 of CTC, k-ECC,
+//! Simple QD-GNN, QD-GNN and AQD-GNN (with empty query attributes)
+//! across datasets.
+
+use qdgnn_baselines::{CommunityMethod, Ctc, KEcc};
+use qdgnn_data::AttrMode;
+
+use crate::harness::{self, DatasetContext};
+use crate::profile::RunConfig;
+use crate::table::ResultTable;
+
+/// Method rows of the figure, in plot order.
+pub const METHODS: [&str; 5] = ["CTC", "ECC", "Simple QD-GNN", "QD-GNN", "AQD-GNN (EmA)"];
+
+/// Runs the experiment; one column per dataset, one row per method.
+pub fn run(run: &RunConfig) -> ResultTable {
+    let datasets = run.datasets();
+    let mut columns: Vec<&str> = vec!["Method"];
+    let names: Vec<String> = datasets.iter().map(|d| d.name.clone()).collect();
+    columns.extend(names.iter().map(String::as_str));
+    let mut table = ResultTable::new(
+        "Figure 6 — Non-attributed community search (F1)",
+        &columns,
+    );
+    let mut scores: Vec<Vec<f64>> = vec![Vec::new(); METHODS.len()];
+
+    for dataset in datasets {
+        eprintln!("[fig6] {}", dataset.stats_line());
+        let ctx = DatasetContext::prepare(dataset, run);
+        let split = ctx.split_multi(AttrMode::Empty, run);
+
+        // Classical baselines (no training stage).
+        let ctc = Ctc::index(ctx.dataset.graph.graph());
+        let (_, ctc_pred) =
+            harness::time_queries(&split.test, |q| ctc.search(&ctx.dataset.graph, q));
+        scores[0].push(harness::micro_f1(&ctc_pred, &split.test));
+
+        let ecc = KEcc::new();
+        let (_, ecc_pred) =
+            harness::time_queries(&split.test, |q| ecc.search(&ctx.dataset.graph, q));
+        scores[1].push(harness::micro_f1(&ecc_pred, &split.test));
+
+        // Learned models.
+        let simple = harness::train_simple(&ctx, run, &split);
+        scores[2].push(harness::model_test_f1(
+            &simple.model,
+            &ctx.tensors,
+            &split.test,
+            simple.gamma,
+        ));
+        let qd = harness::train_qd(&ctx, run, &split);
+        scores[3].push(harness::model_test_f1(&qd.model, &ctx.tensors, &split.test, qd.gamma));
+        let aqd = harness::train_aqd(&ctx, run, &split);
+        scores[4].push(harness::model_test_f1(
+            &aqd.model,
+            &ctx.tensors,
+            &split.test,
+            aqd.gamma,
+        ));
+    }
+
+    for (method, row) in METHODS.iter().zip(&scores) {
+        table.push_values(method, row, 3);
+    }
+    table
+}

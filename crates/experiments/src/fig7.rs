@@ -1,0 +1,78 @@
+//! Figure 7: attributed community search under the AFC and AFN
+//! query-attribute regimes.
+//!
+//! * 7a — one-vertex queries: ACQ vs AQD-GNN;
+//! * 7b — multi-vertex queries: ATC vs AQD-GNN.
+
+use qdgnn_baselines::{Acq, Atc, CommunityMethod};
+use qdgnn_data::AttrMode;
+
+use crate::harness::{self, DatasetContext};
+use crate::profile::RunConfig;
+use crate::table::ResultTable;
+
+/// Which panel of Figure 7 to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Panel {
+    /// 7a: single-vertex queries, ACQ baseline.
+    OneVertex,
+    /// 7b: multi-vertex queries, ATC baseline.
+    MultiVertex,
+}
+
+/// Runs one panel; rows are `{baseline, AQD-GNN} × {AFC, AFN}`.
+pub fn run(run: &RunConfig, panel: Panel) -> ResultTable {
+    let datasets = run.datasets();
+    let (title, baseline_name) = match panel {
+        Panel::OneVertex => ("Figure 7a — ACS, one-vertex queries (F1)", "ACQ"),
+        Panel::MultiVertex => ("Figure 7b — ACS, multi-vertex queries (F1)", "ATC"),
+    };
+    let mut columns: Vec<&str> = vec!["Method"];
+    let names: Vec<String> = datasets.iter().map(|d| d.name.clone()).collect();
+    columns.extend(names.iter().map(String::as_str));
+    let mut table = ResultTable::new(title, &columns);
+
+    let row_labels = [
+        format!("{baseline_name} (AFC)"),
+        "AQD-GNN (AFC)".to_string(),
+        format!("{baseline_name} (AFN)"),
+        "AQD-GNN (AFN)".to_string(),
+    ];
+    let mut scores: Vec<Vec<f64>> = vec![Vec::new(); 4];
+
+    for dataset in datasets {
+        eprintln!("[fig7] {}", dataset.stats_line());
+        let ctx = DatasetContext::prepare(dataset, run);
+        for (slot, mode) in [(0usize, AttrMode::FromCommunity), (2usize, AttrMode::FromNode)] {
+            let split = match panel {
+                Panel::OneVertex => ctx.split_single(mode, run),
+                Panel::MultiVertex => ctx.split_multi(mode, run),
+            };
+            // Baseline.
+            let baseline_pred = match panel {
+                Panel::OneVertex => {
+                    let acq = Acq::new();
+                    harness::time_queries(&split.test, |q| acq.search(&ctx.dataset.graph, q)).1
+                }
+                Panel::MultiVertex => {
+                    let atc = Atc::index(ctx.dataset.graph.graph());
+                    harness::time_queries(&split.test, |q| atc.search(&ctx.dataset.graph, q)).1
+                }
+            };
+            scores[slot].push(harness::micro_f1(&baseline_pred, &split.test));
+            // AQD-GNN.
+            let aqd = harness::train_aqd(&ctx, run, &split);
+            scores[slot + 1].push(harness::model_test_f1(
+                &aqd.model,
+                &ctx.tensors,
+                &split.test,
+                aqd.gamma,
+            ));
+        }
+    }
+
+    for (label, row) in row_labels.iter().zip(&scores) {
+        table.push_values(label, row, 3);
+    }
+    table
+}

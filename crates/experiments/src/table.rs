@@ -1,0 +1,145 @@
+//! Result tables: aligned text rendering (what the binaries print) and a
+//! tiny CSV writer (what EXPERIMENTS.md and downstream plotting consume).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table with a leading label column.
+#[derive(Clone, Debug)]
+pub struct ResultTable {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Header: label-column name followed by the value columns.
+    pub columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; cell count must match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of `(label, f64 values)` with the given precision.
+    pub fn push_values(&mut self, label: &str, values: &[f64], precision: usize) {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.to_string());
+        cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.push_row(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row-major, excluding the header).
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Writes the table as CSV.
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.columns));
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+        }
+        fs::write(path, out)
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    let escaped: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", escaped.join(","))
+}
+
+impl fmt::Display for ResultTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            let cells: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = ResultTable::new("Demo", &["Method", "F1"]);
+        t.push_values("QD-GNN", &[0.91234], 3);
+        t.push_values("CTC", &[0.5], 3);
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("0.912"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, 0), "CTC");
+    }
+
+    #[test]
+    fn csv_round_trip_with_escaping() {
+        let mut t = ResultTable::new("X", &["a", "b"]);
+        t.push_row(vec!["hello, world".into(), "plain".into()]);
+        let dir = std::env::temp_dir().join("qdgnn_table_test");
+        let path = dir.join("t.csv");
+        t.save_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n\"hello, world\",plain\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = ResultTable::new("X", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Table 3: interactive community search — F1 (%) and seconds per
+//! interaction for ICS-GNN (per-query re-trained Vanilla GCN) versus the
+//! same pipeline with pre-trained QD-GNN and AQD-GNN (AFN and AFC).
+
+use qdgnn_baselines::{IcsGnn, IcsGnnConfig};
+use qdgnn_core::interactive::{run_interactive, InteractiveConfig, ModelScorer, SubgraphScorer};
+use qdgnn_data::{AttrMode, Query};
+
+use crate::harness::{self, DatasetContext};
+use crate::profile::{Profile, RunConfig};
+use crate::table::ResultTable;
+
+/// Method rows of the table.
+pub const METHODS: [&str; 4] = ["ICS-GNN", "QD-GNN", "AQD (AFN)", "AQD (AFC)"];
+
+fn interactive_config() -> InteractiveConfig {
+    InteractiveConfig::default()
+}
+
+fn avg_outcomes(
+    graph: &qdgnn_graph::AttributedGraph,
+    scorer: &dyn SubgraphScorer,
+    queries: &[Query],
+    seed: u64,
+) -> (f64, f64) {
+    let cfg = interactive_config();
+    let mut f1 = 0.0;
+    let mut secs = 0.0;
+    for (i, q) in queries.iter().enumerate() {
+        let outcome = run_interactive(graph, scorer, q, &cfg, seed ^ i as u64);
+        f1 += outcome.final_f1();
+        secs += outcome.avg_seconds();
+    }
+    let n = queries.len().max(1) as f64;
+    (100.0 * f1 / n, secs / n)
+}
+
+/// Runs the experiment; rows are methods, per-dataset F1/Time column
+/// pairs plus trailing averages.
+pub fn run(run: &RunConfig) -> ResultTable {
+    let datasets = run.datasets();
+    // Interactive sessions re-train (ICS-GNN) per query per round; cap the
+    // evaluated query count so the fast/std profiles stay interactive.
+    let eval_queries = match run.profile {
+        Profile::Fast => 8,
+        Profile::Std => 15,
+        Profile::Paper => 100,
+    };
+
+    let mut columns: Vec<String> = vec!["Method".into()];
+    for d in &datasets {
+        columns.push(format!("{} F1%", d.name));
+        columns.push(format!("{} Time(s)", d.name));
+    }
+    columns.push("Avg F1%".into());
+    columns.push("Avg Time(s)".into());
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table =
+        ResultTable::new("Table 3 — Interactive community search", &col_refs);
+
+    let mut cells: Vec<Vec<f64>> = vec![Vec::new(); METHODS.len()];
+
+    for dataset in datasets {
+        eprintln!("[table3] {}", dataset.stats_line());
+        let ctx = DatasetContext::prepare(dataset, run);
+        let ema = ctx.split_multi(AttrMode::Empty, run);
+        let afn = ctx.split_multi(AttrMode::FromNode, run);
+        let afc = ctx.split_multi(AttrMode::FromCommunity, run);
+        let test_n = eval_queries.min(ema.test.len());
+
+        // ICS-GNN: per-query training inside the loop, scaled-down GCN in
+        // non-paper profiles to keep wall-clock sane.
+        let ics_cfg = match run.profile {
+            Profile::Paper => IcsGnnConfig::default(),
+            _ => IcsGnnConfig { hidden: 32, epochs: 40, ..Default::default() },
+        };
+        let ics = IcsGnn::new(ics_cfg);
+        let (f1, t) = avg_outcomes(&ctx.dataset.graph, &ics, &ema.test[..test_n], run.seed);
+        cells[0].push(f1);
+        cells[0].push(t);
+
+        // Pre-trained QD-GNN in the same loop.
+        let qd = harness::train_qd(&ctx, run, &ema);
+        let scorer = ModelScorer { model: &qd.model };
+        let (f1, t) = avg_outcomes(&ctx.dataset.graph, &scorer, &ema.test[..test_n], run.seed);
+        cells[1].push(f1);
+        cells[1].push(t);
+
+        // Pre-trained AQD-GNN under AFN and AFC.
+        let aqd_afn = harness::train_aqd(&ctx, run, &afn);
+        let scorer = ModelScorer { model: &aqd_afn.model };
+        let (f1, t) = avg_outcomes(&ctx.dataset.graph, &scorer, &afn.test[..test_n], run.seed);
+        cells[2].push(f1);
+        cells[2].push(t);
+
+        let aqd_afc = harness::train_aqd(&ctx, run, &afc);
+        let scorer = ModelScorer { model: &aqd_afc.model };
+        let (f1, t) = avg_outcomes(&ctx.dataset.graph, &scorer, &afc.test[..test_n], run.seed);
+        cells[3].push(f1);
+        cells[3].push(t);
+    }
+
+    for (method, row) in METHODS.iter().zip(&cells) {
+        // Averages over the F1 (even) and time (odd) positions.
+        let f1s: Vec<f64> = row.iter().copied().step_by(2).collect();
+        let ts: Vec<f64> = row.iter().copied().skip(1).step_by(2).collect();
+        let mut values = row.clone();
+        values.push(f1s.iter().sum::<f64>() / f1s.len().max(1) as f64);
+        values.push(ts.iter().sum::<f64>() / ts.len().max(1) as f64);
+        table.push_values(method, &values, 2);
+    }
+    table
+}

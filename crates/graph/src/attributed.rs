@@ -1,0 +1,322 @@
+//! Attributed graphs, the node–attribute bipartite graph (§6.3) and the
+//! fusion graph (§6.6).
+
+use qdgnn_tensor::Csr;
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// Attribute identifier within a graph's vocabulary `F̂`.
+pub type AttrId = u32;
+
+/// How to normalize the (self-loop-augmented) adjacency matrix used for
+/// neighborhood aggregation.
+///
+/// The paper's propagation functions (Eq. 4, 5) use a plain `SUM` over
+/// `N⁺(v)` "as Vanilla GCN does", and §3.2 notes that Vanilla GCN applies
+/// Laplacian smoothing (the symmetric normalization). [`AdjNorm::GcnSym`]
+/// is therefore the faithful default; the raw-sum and mean variants are
+/// kept for the aggregation ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdjNorm {
+    /// Raw `A + I` (unnormalized SUM aggregation).
+    Sum,
+    /// Symmetric GCN normalization `D̂^(−1/2) (A + I) D̂^(−1/2)`.
+    GcnSym,
+    /// Row normalization `D̂^(−1) (A + I)` (mean aggregation).
+    Mean,
+}
+
+/// Builds the aggregation matrix for `graph` with the requested
+/// normalization, including self-loops (the paper aggregates over
+/// `N⁺(v) = N(v) ∪ {v}`).
+pub fn adjacency_matrix(graph: &Graph, norm: AdjNorm) -> Csr {
+    let n = graph.num_vertices();
+    let mut triplets = Vec::with_capacity(2 * graph.num_edges() + n);
+    match norm {
+        AdjNorm::Sum => {
+            for v in graph.vertices() {
+                triplets.push((v as usize, v as usize, 1.0));
+                for &u in graph.neighbors(v) {
+                    triplets.push((v as usize, u as usize, 1.0));
+                }
+            }
+        }
+        AdjNorm::GcnSym => {
+            let inv_sqrt: Vec<f32> =
+                (0..n).map(|v| 1.0 / ((graph.degree(v as VertexId) + 1) as f32).sqrt()).collect();
+            for v in graph.vertices() {
+                let vi = v as usize;
+                triplets.push((vi, vi, inv_sqrt[vi] * inv_sqrt[vi]));
+                for &u in graph.neighbors(v) {
+                    triplets.push((vi, u as usize, inv_sqrt[vi] * inv_sqrt[u as usize]));
+                }
+            }
+        }
+        AdjNorm::Mean => {
+            for v in graph.vertices() {
+                let vi = v as usize;
+                let w = 1.0 / (graph.degree(v) + 1) as f32;
+                triplets.push((vi, vi, w));
+                for &u in graph.neighbors(v) {
+                    triplets.push((vi, u as usize, w));
+                }
+            }
+        }
+    }
+    Csr::from_triplets(n, n, &triplets)
+}
+
+/// A graph whose vertices carry sets of keyword attributes, plus the
+/// derived structures the AQD-GNN model needs.
+#[derive(Clone, Debug)]
+pub struct AttributedGraph {
+    graph: Graph,
+    /// Sorted, deduplicated attribute ids per vertex.
+    attrs: Vec<Vec<AttrId>>,
+    num_attrs: usize,
+    /// Inverted index: attribute → sorted vertices having it.
+    inverted: Vec<Vec<VertexId>>,
+}
+
+impl AttributedGraph {
+    /// Wraps a graph with per-vertex attribute sets over a vocabulary of
+    /// `num_attrs` attributes. Attribute lists are sorted/deduplicated.
+    ///
+    /// # Panics
+    /// Panics if `attrs.len() != graph.num_vertices()` or an attribute id
+    /// is `≥ num_attrs`.
+    pub fn new(graph: Graph, mut attrs: Vec<Vec<AttrId>>, num_attrs: usize) -> Self {
+        assert_eq!(attrs.len(), graph.num_vertices(), "one attribute set per vertex required");
+        let mut inverted = vec![Vec::new(); num_attrs];
+        for (v, set) in attrs.iter_mut().enumerate() {
+            set.sort_unstable();
+            set.dedup();
+            for &a in set.iter() {
+                assert!((a as usize) < num_attrs, "attribute id {a} out of vocabulary");
+                inverted[a as usize].push(v as VertexId);
+            }
+        }
+        AttributedGraph { graph, attrs, num_attrs, inverted }
+    }
+
+    /// The underlying structure graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Vocabulary size `|F̂|`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.num_attrs
+    }
+
+    /// Sorted attributes of vertex `v`.
+    #[inline]
+    pub fn attrs_of(&self, v: VertexId) -> &[AttrId] {
+        &self.attrs[v as usize]
+    }
+
+    /// Whether vertex `v` carries attribute `a`.
+    pub fn has_attr(&self, v: VertexId, a: AttrId) -> bool {
+        self.attrs[v as usize].binary_search(&a).is_ok()
+    }
+
+    /// Sorted vertices carrying attribute `a`.
+    #[inline]
+    pub fn vertices_with_attr(&self, a: AttrId) -> &[VertexId] {
+        &self.inverted[a as usize]
+    }
+
+    /// Number of node–attribute bipartite edges `|E_B|`.
+    pub fn bipartite_edge_count(&self) -> usize {
+        self.attrs.iter().map(Vec::len).sum()
+    }
+
+    /// The vertex attribute matrix `F ∈ ℝ^{n×d}` as CSR, with each row
+    /// L1-normalized (the paper feeds the *normalized* attribute vector to
+    /// the Graph Encoder's first layer).
+    pub fn attribute_matrix(&self) -> Csr {
+        let mut m = self.bipartite_incidence();
+        m.row_normalize();
+        m
+    }
+
+    /// The raw node–attribute bipartite incidence matrix `B ∈ {0,1}^{n×d}`
+    /// (Attribute Encoder propagation A→N uses `B`, N→A uses `Bᵀ`).
+    pub fn bipartite_incidence(&self) -> Csr {
+        let triplets: Vec<(usize, usize, f32)> = self
+            .attrs
+            .iter()
+            .enumerate()
+            .flat_map(|(v, set)| set.iter().map(move |&a| (v, a as usize, 1.0)))
+            .collect();
+        Csr::from_triplets(self.num_vertices(), self.num_attrs, &triplets)
+    }
+
+    /// The fusion graph `G_F` of §6.6: the structure graph plus an edge
+    /// between every pair of vertices sharing an attribute.
+    ///
+    /// Attributes held by more than `max_attr_frequency` vertices are
+    /// skipped: such near-universal keywords would add `Θ(freq²)` edges
+    /// while carrying almost no community signal. The paper does not spell
+    /// out a mitigation; the cap is configurable and documented here as a
+    /// deviation (set it to `usize::MAX` for the literal construction).
+    pub fn fusion_graph(&self, max_attr_frequency: usize) -> Graph {
+        let mut builder = GraphBuilder::new(self.num_vertices());
+        for (u, v) in self.graph.edges() {
+            builder.add_edge(u, v);
+        }
+        for members in &self.inverted {
+            if members.len() < 2 || members.len() > max_attr_frequency {
+                continue;
+            }
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    builder.add_edge(u, v);
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// Number of attributes shared between vertex `v`'s set and `query`.
+    pub fn shared_attr_count(&self, v: VertexId, query: &[AttrId]) -> usize {
+        query.iter().filter(|&&a| self.has_attr(v, a)).count()
+    }
+
+    /// The `k` most frequent attributes among `vertices` (ties broken by
+    /// attribute id, ascending) — used to build AFC/AFN query attributes.
+    pub fn most_common_attrs(&self, vertices: &[VertexId], k: usize) -> Vec<AttrId> {
+        let mut counts = vec![0usize; self.num_attrs];
+        for &v in vertices {
+            for &a in self.attrs_of(v) {
+                counts[a as usize] += 1;
+            }
+        }
+        let mut order: Vec<AttrId> =
+            (0..self.num_attrs as AttrId).filter(|&a| counts[a as usize] > 0).collect();
+        order.sort_by(|&a, &b| {
+            counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order
+    }
+
+    /// The attributed subgraph induced by `vertices`, with its local↔global
+    /// mapping (the attribute vocabulary is kept intact so query attribute
+    /// vectors remain valid).
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (AttributedGraph, crate::graph::Subgraph) {
+        let sub = self.graph.induced_subgraph(vertices);
+        let attrs: Vec<Vec<AttrId>> =
+            sub.globals.iter().map(|&g| self.attrs[g as usize].clone()).collect();
+        (AttributedGraph::new(sub.graph.clone(), attrs, self.num_attrs), sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 faculty graph (vertices 0-7 = paper's 1-8),
+    /// attributes 0..6 = {IR, DM, GM, ML, DL, CV}.
+    pub(crate) fn faculty() -> AttributedGraph {
+        let graph = Graph::from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (0, 5), (1, 2), (2, 3), (5, 6), (5, 7), (6, 7)],
+        );
+        let attrs = vec![
+            vec![0],       // 1: IR
+            vec![0, 1],    // 2: IR, DM
+            vec![1],       // 3: DM
+            vec![1, 2],    // 4: DM, GM
+            vec![2],       // 5: GM
+            vec![3],       // 6: ML
+            vec![3, 4],    // 7: ML, DL
+            vec![4, 5],    // 8: DL, CV
+        ];
+        AttributedGraph::new(graph, attrs, 6)
+    }
+
+    #[test]
+    fn inverted_index_and_lookup() {
+        let ag = faculty();
+        assert_eq!(ag.vertices_with_attr(3), &[5, 6]);
+        assert!(ag.has_attr(7, 4));
+        assert!(!ag.has_attr(7, 3));
+        assert_eq!(ag.bipartite_edge_count(), 12);
+    }
+
+    #[test]
+    fn attribute_matrix_rows_normalized() {
+        let ag = faculty();
+        let f = ag.attribute_matrix();
+        assert_eq!(f.rows(), 8);
+        assert_eq!(f.cols(), 6);
+        for v in 0..8 {
+            let s: f32 = f.row_iter(v).map(|(_, x)| x).sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {v} sums to {s}");
+        }
+        // Vertex 6 (paper's 7) has two attributes, each weighted 1/2.
+        assert_eq!(f.get(6, 3), 0.5);
+        assert_eq!(f.get(6, 4), 0.5);
+    }
+
+    #[test]
+    fn fusion_graph_links_same_attribute_vertices() {
+        let ag = faculty();
+        let gf = ag.fusion_graph(usize::MAX);
+        // Paper's example: vertices 7 and 8 (here 6 and 7) share "DL".
+        assert!(gf.has_edge(6, 7));
+        // Structure edges survive.
+        assert!(gf.has_edge(0, 1));
+        // Vertices 0 and 1 share IR — fused even though already adjacent.
+        assert!(gf.num_edges() > ag.graph().num_edges());
+    }
+
+    #[test]
+    fn fusion_graph_frequency_cap() {
+        let ag = faculty();
+        // Cap 1 disables all attribute cliques.
+        let gf = ag.fusion_graph(1);
+        assert_eq!(gf.num_edges(), ag.graph().num_edges());
+    }
+
+    #[test]
+    fn most_common_attrs_ranked() {
+        let ag = faculty();
+        // Among vertices 5,6,7: ML×2, DL×2, CV×1 → top2 = [ML, DL] (id order on tie).
+        assert_eq!(ag.most_common_attrs(&[5, 6, 7], 2), vec![3, 4]);
+        assert_eq!(ag.most_common_attrs(&[5, 6, 7], 10), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn adjacency_matrix_norms() {
+        let ag = faculty();
+        let sum = adjacency_matrix(ag.graph(), AdjNorm::Sum);
+        assert_eq!(sum.get(0, 0), 1.0);
+        assert_eq!(sum.get(0, 1), 1.0);
+        let mean = adjacency_matrix(ag.graph(), AdjNorm::Mean);
+        let row0: f32 = mean.row_iter(0).map(|(_, v)| v).sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        let symn = adjacency_matrix(ag.graph(), AdjNorm::GcnSym);
+        // Symmetric: entry (u,v) equals (v,u).
+        assert!((symn.get(0, 1) - symn.get(1, 0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_vocabulary() {
+        let ag = faculty();
+        let (sub_ag, map) = ag.induced_subgraph(&[5, 6, 7]);
+        assert_eq!(sub_ag.num_attrs(), 6);
+        assert_eq!(sub_ag.num_vertices(), 3);
+        let local6 = map.local(6).unwrap();
+        assert_eq!(sub_ag.attrs_of(local6), &[3, 4]);
+    }
+}

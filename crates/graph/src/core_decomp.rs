@@ -1,0 +1,176 @@
+//! k-core decomposition — the structural substrate of the ACQ baseline
+//! (Fang et al., PVLDB'16) and of the k-ECC search's shrinking step.
+
+use crate::graph::{Graph, VertexId};
+use crate::traversal;
+
+/// Core number of every vertex, via the linear-time bucket peeling
+/// algorithm (Batagelj–Zaveršnik).
+///
+/// ```
+/// use qdgnn_graph::{core_decomp, Graph};
+///
+/// // A triangle with a pendant vertex.
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(core_decomp::core_numbers(&g), vec![2, 2, 2, 1]);
+/// ```
+pub fn core_numbers(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v as VertexId)).collect();
+    let max_deg = *degree.iter().max().unwrap();
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d + 1] += 1;
+    }
+    for i in 0..=max_deg {
+        bin[i + 1] += bin[i];
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0usize; n];
+    let mut start = bin.clone();
+    for v in 0..n {
+        let d = degree[v];
+        pos[v] = start[d];
+        vert[pos[v]] = v;
+        start[d] += 1;
+    }
+
+    let mut core = vec![0usize; n];
+    let mut bin_start = bin;
+    for i in 0..n {
+        let v = vert[i];
+        core[v] = degree[v];
+        for &u in graph.neighbors(v as VertexId) {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with the first vertex of its
+                // current bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin_start[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin_start[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Vertices of the maximal k-core (may be empty or disconnected).
+pub fn k_core_vertices(graph: &Graph, k: usize) -> Vec<VertexId> {
+    core_numbers(graph)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= k)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+/// The connected k-core component containing all `query` vertices, for the
+/// **largest** k for which one exists; returns `(k, sorted members)`.
+///
+/// This is the structural step of ACQ: the community must be a connected
+/// k-core containing the query, with k maximized. Falls back to `k = 0`
+/// (the whole connected component) when the query spans core boundaries.
+pub fn max_core_containing(graph: &Graph, query: &[VertexId]) -> (usize, Vec<VertexId>) {
+    if query.is_empty() {
+        return (0, Vec::new());
+    }
+    let core = core_numbers(graph);
+    let k_max = query.iter().map(|&q| core[q as usize]).min().unwrap_or(0);
+    for k in (0..=k_max).rev() {
+        let members: Vec<VertexId> = core
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= k)
+            .map(|(v, _)| v as VertexId)
+            .collect();
+        let sub = graph.induced_subgraph(&members);
+        let Some(first_local) = sub.local(query[0]) else { continue };
+        let component = traversal::component_of(&sub.graph, first_local);
+        let all_in = query.iter().all(|&q| {
+            sub.local(q)
+                .map(|l| component.binary_search(&l).is_ok())
+                .unwrap_or(false)
+        });
+        if all_in {
+            return (k, sub.to_global(&component));
+        }
+    }
+    (0, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-clique {0,1,2,3} with a pendant path 3–4–5.
+    fn clique_with_tail() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn core_numbers_of_clique_with_tail() {
+        let g = clique_with_tail();
+        assert_eq!(core_numbers(&g), vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn core_numbers_of_cycle() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(core_numbers(&g), vec![2; 4]);
+    }
+
+    #[test]
+    fn core_numbers_empty_and_edgeless() {
+        assert!(core_numbers(&Graph::empty(0)).is_empty());
+        assert_eq!(core_numbers(&Graph::empty(3)), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn k_core_vertices_threshold() {
+        let g = clique_with_tail();
+        assert_eq!(k_core_vertices(&g, 3), vec![0, 1, 2, 3]);
+        assert_eq!(k_core_vertices(&g, 1).len(), 6);
+        assert!(k_core_vertices(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn max_core_containing_clique_member() {
+        let g = clique_with_tail();
+        let (k, members) = max_core_containing(&g, &[0]);
+        assert_eq!(k, 3);
+        assert_eq!(members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn max_core_containing_tail_vertex_degrades() {
+        let g = clique_with_tail();
+        let (k, members) = max_core_containing(&g, &[5]);
+        assert_eq!(k, 1);
+        assert_eq!(members.len(), 6);
+    }
+
+    #[test]
+    fn max_core_with_multi_vertex_query() {
+        let g = clique_with_tail();
+        let (k, members) = max_core_containing(&g, &[0, 4]);
+        assert_eq!(k, 1);
+        assert!(members.contains(&0) && members.contains(&4));
+    }
+}

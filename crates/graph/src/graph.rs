@@ -1,0 +1,291 @@
+//! Compact undirected graphs in CSR form.
+
+use std::collections::BTreeSet;
+
+/// Vertex identifier. Graphs in the paper's evaluation range from a few
+/// hundred vertices (WebKB, Facebook ego-nets) to millions
+/// (Enlarged_Reddit), all comfortably within `u32`.
+pub type VertexId = u32;
+
+/// An undirected simple graph stored as CSR adjacency.
+///
+/// Invariants maintained by construction:
+/// * no self-loops, no parallel edges;
+/// * every neighbor list is sorted ascending;
+/// * adjacency is symmetric (`u ∈ N(v) ⟺ v ∈ N(u)`).
+///
+/// ```
+/// use qdgnn_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.neighbors(2), &[0, 1, 3]);
+/// assert!(g.has_edge(0, 2) && !g.has_edge(0, 3));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an edge list.
+    ///
+    /// Self-loops and duplicate edges (in either orientation) are dropped.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `≥ n`.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut builder = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+
+    /// An edgeless graph with `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1], neighbors: Vec::new(), num_edges: 0 }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (u, v) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The subgraph induced by `vertices` (duplicates ignored), with a
+    /// local↔global vertex mapping.
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> Subgraph {
+        let globals: Vec<VertexId> = {
+            let set: BTreeSet<VertexId> = vertices.iter().copied().collect();
+            set.into_iter().collect()
+        };
+        let mut local_of = vec![VertexId::MAX; self.num_vertices()];
+        for (local, &g) in globals.iter().enumerate() {
+            local_of[g as usize] = local as VertexId;
+        }
+        let mut builder = GraphBuilder::new(globals.len());
+        for (local, &g) in globals.iter().enumerate() {
+            for &nb in self.neighbors(g) {
+                let nb_local = local_of[nb as usize];
+                if nb_local != VertexId::MAX && (local as VertexId) < nb_local {
+                    builder.add_edge(local as VertexId, nb_local);
+                }
+            }
+        }
+        Subgraph { graph: builder.build(), globals, local_of }
+    }
+}
+
+/// Incremental, deduplicating graph builder.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Queues the undirected edge `{u, v}`; self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for {} vertices",
+            self.n
+        );
+        if u == v {
+            return;
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Finalizes into a CSR [`Graph`], deduplicating edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let num_edges = self.edges.len();
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0usize; self.n + 1];
+        for v in 0..self.n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut neighbors = vec![0 as VertexId; 2 * num_edges];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were inserted in sorted order per source, but symmetric
+        // inserts interleave; sort each adjacency list.
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, neighbors, num_edges }
+    }
+}
+
+/// An induced subgraph with its vertex mapping back to the parent graph.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The subgraph itself, over local vertex ids `0..k`.
+    pub graph: Graph,
+    /// `globals[local] = global` vertex id in the parent graph.
+    pub globals: Vec<VertexId>,
+    local_of: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Maps a parent-graph vertex to its local id, if included.
+    pub fn local(&self, global: VertexId) -> Option<VertexId> {
+        match self.local_of.get(global as usize) {
+            Some(&l) if l != VertexId::MAX => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Maps a local vertex back to the parent graph.
+    pub fn global(&self, local: VertexId) -> VertexId {
+        self.globals[local as usize]
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn len(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.globals.is_empty()
+    }
+
+    /// Translates a set of local vertices to global ids.
+    pub fn to_global(&self, locals: &[VertexId]) -> Vec<VertexId> {
+        locals.iter().map(|&l| self.global(l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn builds_and_dedups() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 1), (1, 2), (1, 2)]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degrees_and_max_degree() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_maps_both_ways() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let sub = g.induced_subgraph(&[4, 0, 1]);
+        assert_eq!(sub.len(), 3);
+        // Local ids follow sorted global order: [0, 1, 4] → 0,1,2.
+        assert_eq!(sub.global(2), 4);
+        assert_eq!(sub.local(4), Some(2));
+        assert_eq!(sub.local(3), None);
+        assert_eq!(sub.graph.num_edges(), 2); // edges {0,1} and {0,4}
+        assert!(sub.graph.has_edge(0, 1));
+        assert!(sub.graph.has_edge(0, 2));
+        assert!(!sub.graph.has_edge(1, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Evaluation metrics of §7.1.5: precision, recall and F1 aggregated over
+//! a *set* of queries.
+//!
+//! The paper's definitions pool counts across queries before forming the
+//! ratios (micro-averaging): `pre = Σ_q |Ĉ_q ∩ Y_q| / Σ_q |Ĉ_q|` and
+//! `rec = Σ_q |Ĉ_q ∩ Y_q| / Σ_q |Y_q|`. A per-query (macro) F1 is also
+//! provided for diagnostics.
+
+use crate::graph::VertexId;
+
+/// Micro-averaged precision / recall / F1 over a query set.
+///
+/// ```
+/// use qdgnn_graph::CommunityMetrics;
+///
+/// let predicted = vec![vec![1, 2, 3]];
+/// let truth = vec![vec![2, 3, 4, 5]];
+/// let m = CommunityMetrics::micro(&predicted, &truth);
+/// assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((m.recall - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommunityMetrics {
+    /// Micro precision `Σ|Ĉ∩Y| / Σ|Ĉ|` (0 when nothing was predicted).
+    pub precision: f64,
+    /// Micro recall `Σ|Ĉ∩Y| / Σ|Y|` (0 when ground truth is empty).
+    pub recall: f64,
+    /// Harmonic mean of the two (0 when both are 0).
+    pub f1: f64,
+}
+
+impl CommunityMetrics {
+    /// Computes micro-averaged metrics from per-query predicted and
+    /// ground-truth communities (vertex id lists, any order, no
+    /// duplicates expected).
+    ///
+    /// # Panics
+    /// Panics if the two slices have different lengths.
+    pub fn micro(predicted: &[Vec<VertexId>], truth: &[Vec<VertexId>]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "one ground truth per prediction");
+        let mut hits = 0usize;
+        let mut pred_total = 0usize;
+        let mut truth_total = 0usize;
+        for (p, t) in predicted.iter().zip(truth) {
+            hits += intersection_size(p, t);
+            pred_total += p.len();
+            truth_total += t.len();
+        }
+        let precision = if pred_total == 0 { 0.0 } else { hits as f64 / pred_total as f64 };
+        let recall = if truth_total == 0 { 0.0 } else { hits as f64 / truth_total as f64 };
+        CommunityMetrics { precision, recall, f1: harmonic(precision, recall) }
+    }
+}
+
+/// F1 of a single predicted community against its ground truth.
+pub fn f1_score(predicted: &[VertexId], truth: &[VertexId]) -> f64 {
+    let hits = intersection_size(predicted, truth);
+    let p = if predicted.is_empty() { 0.0 } else { hits as f64 / predicted.len() as f64 };
+    let r = if truth.is_empty() { 0.0 } else { hits as f64 / truth.len() as f64 };
+    harmonic(p, r)
+}
+
+/// Macro-averaged (mean per-query) F1.
+pub fn macro_f1(predicted: &[Vec<VertexId>], truth: &[Vec<VertexId>]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "one ground truth per prediction");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = predicted.iter().zip(truth).map(|(p, t)| f1_score(p, t)).sum();
+    total / predicted.len() as f64
+}
+
+fn harmonic(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
+    // Sort copies; inputs are small community lists.
+    let mut a: Vec<VertexId> = a.to_vec();
+    let mut b: Vec<VertexId> = b.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let m = CommunityMetrics::micro(&[vec![1, 2, 3]], &[vec![3, 2, 1]]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn half_precision_full_recall() {
+        let m = CommunityMetrics::micro(&[vec![1, 2, 3, 4]], &[vec![1, 2]]);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 1.0);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_pools_across_queries() {
+        // Query 1: predict 2 of 2 correctly; query 2: predict 0 of 2.
+        let m = CommunityMetrics::micro(
+            &[vec![1, 2], vec![9, 10]],
+            &[vec![1, 2], vec![3, 4]],
+        );
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        // Macro average of the same data: (1.0 + 0.0) / 2.
+        let mac = macro_f1(&[vec![1, 2], vec![9, 10]], &[vec![1, 2], vec![3, 4]]);
+        assert_eq!(mac, 0.5);
+    }
+
+    #[test]
+    fn empty_prediction_scores_zero() {
+        let m = CommunityMetrics::micro(&[vec![]], &[vec![1]]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn single_query_f1() {
+        assert_eq!(f1_score(&[1, 2], &[2, 3]), 0.5);
+        assert_eq!(f1_score(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Breadth-first traversal utilities and the paper's constrained-BFS
+//! community identification (Algorithm 1).
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, VertexId};
+
+/// BFS distances from a set of sources; unreachable vertices get
+/// `usize::MAX`.
+pub fn bfs_distances(graph: &Graph, sources: &[VertexId]) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.num_vertices()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == usize::MAX {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in graph.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices within `hops` BFS hops of any source (sources included).
+pub fn k_hop_neighborhood(graph: &Graph, sources: &[VertexId], hops: usize) -> Vec<VertexId> {
+    let dist = bfs_distances(graph, sources);
+    dist.iter()
+        .enumerate()
+        .filter(|&(_, &d)| d <= hops)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+/// Connected components: returns `(component_id_per_vertex, #components)`.
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(start as VertexId);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// The connected component containing `start`, as a sorted vertex list.
+pub fn component_of(graph: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; graph.num_vertices()];
+    let mut queue = VecDeque::new();
+    let mut out = Vec::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        out.push(u);
+        for &v in graph.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Whether all `vertices` lie in one connected component of their induced
+/// subgraph.
+pub fn is_connected_subset(graph: &Graph, vertices: &[VertexId]) -> bool {
+    if vertices.is_empty() {
+        return true;
+    }
+    let sub = graph.induced_subgraph(vertices);
+    let (_, count) = connected_components(&sub.graph);
+    count <= 1
+}
+
+/// Algorithm 1 of the paper: constrained BFS for community identification.
+///
+/// Starting from the query vertices, expands through neighbors whose model
+/// score reaches the threshold `gamma`, guaranteeing the answer community
+/// is connected to the queries. Query vertices are always included, as in
+/// the paper (line 1 initializes `C_q = V_q`). The result is sorted.
+///
+/// `scores` holds the model output `h_q` (post-sigmoid, in `[0,1]`), one
+/// entry per vertex of `graph`.
+///
+/// # Panics
+/// Panics if `scores.len() != graph.num_vertices()`.
+pub fn constrained_bfs(
+    graph: &Graph,
+    query: &[VertexId],
+    scores: &[f32],
+    gamma: f32,
+) -> Vec<VertexId> {
+    assert_eq!(
+        scores.len(),
+        graph.num_vertices(),
+        "scores length must equal vertex count"
+    );
+    let mut in_community = vec![false; graph.num_vertices()];
+    let mut visited = vec![false; graph.num_vertices()];
+    let mut queue = VecDeque::new();
+    for &q in query {
+        if !in_community[q as usize] {
+            in_community[q as usize] = true;
+            visited[q as usize] = true;
+            queue.push_back(q);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if visited[v as usize] {
+                continue;
+            }
+            visited[v as usize] = true;
+            if scores[v as usize] >= gamma {
+                in_community[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    in_community
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles bridged by one edge: {0,1,2} – {3,4,5}.
+    fn two_triangles() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn bfs_distances_basic() {
+        let g = two_triangles();
+        let d = bfs_distances(&g, &[0]);
+        assert_eq!(d, vec![0, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn multi_source_bfs() {
+        let g = two_triangles();
+        let d = bfs_distances(&g, &[0, 5]);
+        assert_eq!(d[3], 1);
+        assert_eq!(d[1], 1);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_grows() {
+        let g = two_triangles();
+        assert_eq!(k_hop_neighborhood(&g, &[0], 1), vec![0, 1, 2]);
+        assert_eq!(k_hop_neighborhood(&g, &[0], 2).len(), 4);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn component_of_returns_sorted_members() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        assert_eq!(component_of(&g, 3), vec![2, 3]);
+        assert_eq!(component_of(&g, 4), vec![4]);
+    }
+
+    #[test]
+    fn connected_subset_checks() {
+        let g = two_triangles();
+        assert!(is_connected_subset(&g, &[0, 1, 2]));
+        assert!(!is_connected_subset(&g, &[0, 4]));
+        assert!(is_connected_subset(&g, &[]));
+    }
+
+    #[test]
+    fn constrained_bfs_respects_threshold_and_connectivity() {
+        let g = two_triangles();
+        // High scores on the far triangle, but vertex 3 blocks the path.
+        let scores = [0.9, 0.9, 0.9, 0.1, 0.95, 0.95];
+        let c = constrained_bfs(&g, &[0], &scores, 0.5);
+        // 3 fails the threshold so 4,5 are unreachable despite high scores.
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn constrained_bfs_always_keeps_query_vertices() {
+        let g = two_triangles();
+        let scores = [0.0; 6];
+        let c = constrained_bfs(&g, &[4], &scores, 0.5);
+        assert_eq!(c, vec![4]);
+    }
+
+    #[test]
+    fn constrained_bfs_multiple_queries_disconnected_answer() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let scores = [1.0, 1.0, 0.0, 0.0];
+        let c = constrained_bfs(&g, &[0, 3], &scores, 0.5);
+        // Both query vertices kept; expansion only where scores pass, so
+        // vertex 2 (score 0) is excluded even though it neighbors query 3.
+        assert_eq!(c, vec![0, 1, 3]);
+    }
+}

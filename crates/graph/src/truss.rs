@@ -1,0 +1,290 @@
+//! k-truss decomposition — the structural substrate of the CTC (Huang et
+//! al., PVLDB'15) and ATC (Huang & Lakshmanan, PVLDB'17) baselines.
+//!
+//! An edge has *support* `s` if it participates in `s` triangles; the
+//! k-truss is the maximal subgraph whose every edge has support ≥ k−2.
+//! The decomposition assigns each edge its *trussness*: the largest k for
+//! which it survives in the k-truss.
+
+use crate::graph::{Graph, VertexId};
+use crate::traversal;
+
+/// Result of a truss decomposition.
+#[derive(Clone, Debug)]
+pub struct TrussDecomposition {
+    /// Canonical edge list, `(u, v)` with `u < v`, sorted.
+    edges: Vec<(VertexId, VertexId)>,
+    /// Trussness per edge (aligned with `edges`); ≥ 2 for every edge.
+    truss: Vec<usize>,
+    /// Start offset of each vertex's `(larger-endpoint)` edge ids.
+    offsets: Vec<usize>,
+    max_truss: usize,
+}
+
+/// Computes the truss decomposition of `graph` by support peeling.
+///
+/// Runs in `O(m^1.5)` time for triangle counting plus near-linear peeling.
+///
+/// ```
+/// use qdgnn_graph::{truss, Graph};
+///
+/// // A 4-clique: every edge sits in two triangles → 4-truss.
+/// let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+/// let d = truss::truss_decomposition(&g);
+/// assert_eq!(d.max_truss(), 4);
+/// assert_eq!(d.edge_truss(0, 3), Some(4));
+/// ```
+pub fn truss_decomposition(graph: &Graph) -> TrussDecomposition {
+    let n = graph.num_vertices();
+    let edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
+    let m = edges.len();
+
+    // offsets[u] .. offsets[u+1] indexes edges whose smaller endpoint is u;
+    // within the range, edges are sorted by larger endpoint (guaranteed by
+    // Graph::edges iterating sorted adjacency).
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, _) in &edges {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let edge_id = |u: VertexId, v: VertexId| -> Option<usize> {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let lo = offsets[a as usize];
+        let hi = offsets[a as usize + 1];
+        edges[lo..hi].binary_search(&(a, b)).ok().map(|k| lo + k)
+    };
+
+    // Triangle support per edge via sorted-adjacency intersection.
+    let mut support = vec![0usize; m];
+    for (eid, &(u, v)) in edges.iter().enumerate() {
+        support[eid] = count_common(graph.neighbors(u), graph.neighbors(v));
+    }
+
+    // Peel edges in increasing support order (bucket queue).
+    let max_sup = support.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_sup + 1];
+    for (eid, &s) in support.iter().enumerate() {
+        buckets[s].push(eid);
+    }
+    let mut truss = vec![0usize; m];
+    let mut removed = vec![false; m];
+    let mut cur = vec![0usize; m]; // current support during peeling
+    cur.copy_from_slice(&support);
+    let mut level = 0usize;
+    let mut processed = 0usize;
+    while processed < m {
+        while level < buckets.len() && buckets[level].is_empty() {
+            level += 1;
+        }
+        if level >= buckets.len() {
+            break;
+        }
+        let Some(eid) = buckets[level].pop() else { continue };
+        if removed[eid] || cur[eid] != level {
+            // Stale bucket entry; the edge moved to a lower bucket.
+            continue;
+        }
+        removed[eid] = true;
+        processed += 1;
+        truss[eid] = level + 2;
+        let (u, v) = edges[eid];
+        // For each triangle (u, v, w) still alive, decrement the supports
+        // of (u, w) and (v, w).
+        for &w in graph.neighbors(u) {
+            if w == v || !graph.has_edge(v, w) {
+                continue;
+            }
+            let (Some(e1), Some(e2)) = (edge_id(u, w), edge_id(v, w)) else { continue };
+            if removed[e1] || removed[e2] {
+                continue;
+            }
+            for e in [e1, e2] {
+                if cur[e] > level {
+                    cur[e] -= 1;
+                    buckets[cur[e]].push(e);
+                    if cur[e] < level {
+                        level = cur[e];
+                    }
+                }
+            }
+        }
+    }
+    let max_truss = truss.iter().copied().max().unwrap_or(0);
+    TrussDecomposition { edges, truss, offsets, max_truss }
+}
+
+fn count_common(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+impl TrussDecomposition {
+    /// The canonical edge list.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Trussness of each edge, aligned with [`TrussDecomposition::edges`].
+    pub fn trussness(&self) -> &[usize] {
+        &self.truss
+    }
+
+    /// Largest trussness in the graph (0 if edgeless).
+    pub fn max_truss(&self) -> usize {
+        self.max_truss
+    }
+
+    /// Trussness of edge `{u, v}`, or `None` if absent.
+    pub fn edge_truss(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let lo = self.offsets[a as usize];
+        let hi = self.offsets[a as usize + 1];
+        self.edges[lo..hi].binary_search(&(a, b)).ok().map(|k| self.truss[lo + k])
+    }
+
+    /// The k-truss as a graph over the original vertex ids (vertices not
+    /// incident to a surviving edge become isolated).
+    pub fn k_truss_graph(&self, n: usize, k: usize) -> Graph {
+        let kept: Vec<(VertexId, VertexId)> = self
+            .edges
+            .iter()
+            .zip(&self.truss)
+            .filter(|&(_, &t)| t >= k)
+            .map(|(&e, _)| e)
+            .collect();
+        Graph::from_edges(n, &kept)
+    }
+}
+
+/// The connected k-truss component containing all `query` vertices, for
+/// the **largest** k for which one exists; returns `(k, sorted members)`.
+///
+/// Returns `(0, [])` when the query vertices are not even connected in the
+/// 2-truss (i.e. by ordinary edges).
+pub fn max_truss_containing(graph: &Graph, query: &[VertexId]) -> (usize, Vec<VertexId>) {
+    if query.is_empty() {
+        return (0, Vec::new());
+    }
+    let decomp = truss_decomposition(graph);
+    let n = graph.num_vertices();
+    for k in (2..=decomp.max_truss()).rev() {
+        let tg = decomp.k_truss_graph(n, k);
+        let component = traversal::component_of(&tg, query[0]);
+        // A single isolated vertex only counts when it is the entire query.
+        if component.len() == 1 && tg.degree(query[0]) == 0 && query.len() > 1 {
+            continue;
+        }
+        if query.iter().all(|&q| component.binary_search(&q).is_ok())
+            && component.iter().any(|&v| tg.degree(v) > 0)
+        {
+            return (k, component);
+        }
+    }
+    (0, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-clique {0,1,2,3} plus a triangle {3,4,5} and a pendant 5–6.
+    fn mixed() -> Graph {
+        Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn trussness_of_clique_and_triangle() {
+        let g = mixed();
+        let d = truss_decomposition(&g);
+        // Clique edges form a 4-truss.
+        assert_eq!(d.edge_truss(0, 1), Some(4));
+        assert_eq!(d.edge_truss(2, 3), Some(4));
+        // Triangle edges form a 3-truss.
+        assert_eq!(d.edge_truss(3, 4), Some(3));
+        assert_eq!(d.edge_truss(4, 5), Some(3));
+        // Pendant edge is a bare 2-truss.
+        assert_eq!(d.edge_truss(5, 6), Some(2));
+        assert_eq!(d.max_truss(), 4);
+        assert_eq!(d.edge_truss(0, 6), None);
+    }
+
+    #[test]
+    fn k_truss_graph_filters_edges() {
+        let g = mixed();
+        let d = truss_decomposition(&g);
+        let t4 = d.k_truss_graph(7, 4);
+        assert_eq!(t4.num_edges(), 6);
+        assert_eq!(t4.degree(4), 0);
+        let t3 = d.k_truss_graph(7, 3);
+        assert_eq!(t3.num_edges(), 9);
+    }
+
+    #[test]
+    fn max_truss_containing_clique_vertex() {
+        let g = mixed();
+        let (k, members) = max_truss_containing(&g, &[0]);
+        assert_eq!(k, 4);
+        assert_eq!(members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn max_truss_containing_bridging_query() {
+        let g = mixed();
+        // Query {0, 4} spans the clique and triangle: only the 3-truss
+        // connects them (through vertex 3).
+        let (k, members) = max_truss_containing(&g, &[0, 4]);
+        assert_eq!(k, 3);
+        assert!(members.contains(&0) && members.contains(&4));
+        assert!(!members.contains(&6));
+    }
+
+    #[test]
+    fn max_truss_pendant_vertex() {
+        let g = mixed();
+        let (k, members) = max_truss_containing(&g, &[6]);
+        assert_eq!(k, 2);
+        assert!(members.contains(&6));
+    }
+
+    #[test]
+    fn truss_of_triangle_free_graph_is_two() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = truss_decomposition(&g);
+        assert!(d.trussness().iter().all(|&t| t == 2));
+    }
+
+    #[test]
+    fn empty_graph_decomposition() {
+        let g = Graph::empty(3);
+        let d = truss_decomposition(&g);
+        assert_eq!(d.max_truss(), 0);
+        assert!(d.edges().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests validating the optimized graph algorithms against
+//! brute-force reference implementations on small random graphs.
+
+use proptest::prelude::*;
+use qdgnn_graph::{conn, core_decomp, traversal, truss, Graph, VertexId};
+
+/// Strategy: a random simple graph with up to `n` vertices.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+/// Reference core numbers via naive repeated peeling.
+fn naive_core_numbers(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut core = vec![0usize; n];
+    for k in 1..=n {
+        // Peel vertices of degree < k until fixpoint; survivors have
+        // core number ≥ k.
+        let mut alive = vec![true; n];
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                if !alive[v] {
+                    continue;
+                }
+                let deg = graph
+                    .neighbors(v as VertexId)
+                    .iter()
+                    .filter(|&&u| alive[u as usize])
+                    .count();
+                if deg < k {
+                    alive[v] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for v in 0..n {
+            if alive[v] {
+                core[v] = k;
+            }
+        }
+    }
+    core
+}
+
+/// Reference edge support (triangle count) per canonical edge.
+fn naive_supports(graph: &Graph) -> Vec<((VertexId, VertexId), usize)> {
+    graph
+        .edges()
+        .map(|(u, v)| {
+            let s = graph
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| w != v && graph.has_edge(v, w))
+                .count();
+            ((u, v), s)
+        })
+        .collect()
+}
+
+/// Reference min cut by enumerating all vertex bipartitions (≤ 12
+/// vertices).
+fn naive_min_cut(graph: &Graph) -> usize {
+    let n = graph.num_vertices();
+    assert!((2..=12).contains(&n));
+    let mut best = usize::MAX;
+    for mask in 1u32..(1 << (n - 1)) {
+        // Vertex n-1 always on side 0 to halve the enumeration.
+        let side = |v: usize| -> bool { v < n - 1 && (mask >> v) & 1 == 1 };
+        let cut = graph.edges().filter(|&(u, v)| side(u as usize) != side(v as usize)).count();
+        best = best.min(cut);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn core_numbers_match_naive(g in graph_strategy(14)) {
+        prop_assert_eq!(core_decomp::core_numbers(&g), naive_core_numbers(&g));
+    }
+
+    #[test]
+    fn truss_decomposition_respects_support_bounds(g in graph_strategy(12)) {
+        let decomp = truss::truss_decomposition(&g);
+        let supports = naive_supports(&g);
+        prop_assert_eq!(decomp.edges().len(), supports.len());
+        for ((edge, support), (decomp_edge, truss)) in
+            supports.iter().zip(decomp.edges().iter().zip(decomp.trussness()))
+        {
+            prop_assert_eq!(edge, decomp_edge);
+            prop_assert!(*truss >= 2 && *truss <= support + 2);
+        }
+        // The k-truss graph at max k must be non-empty and every edge in
+        // it must have support ≥ k−2 *within that subgraph*.
+        let k = decomp.max_truss();
+        if k >= 2 {
+            let tg = decomp.k_truss_graph(g.num_vertices(), k);
+            prop_assert!(tg.num_edges() > 0);
+            for (u, v) in tg.edges() {
+                let s = tg
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&w| w != v && tg.has_edge(v, w))
+                    .count();
+                prop_assert!(s >= k - 2, "edge ({u},{v}) support {s} < {}", k - 2);
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_matches_enumeration(g in graph_strategy(9)) {
+        // Restrict to connected graphs: Stoer–Wagner assumes one component.
+        let (_, comps) = traversal::connected_components(&g);
+        prop_assume!(comps == 1 && g.num_vertices() >= 2);
+        let (cut, side) = conn::min_cut(&g);
+        prop_assert_eq!(cut, naive_min_cut(&g));
+        // The returned side must realize that cut weight.
+        let in_side = |v: VertexId| side.contains(&v);
+        let realized = g.edges().filter(|&(u, v)| in_side(u) != in_side(v)).count();
+        prop_assert_eq!(realized, cut);
+        prop_assert!(!side.is_empty() && side.len() < g.num_vertices());
+    }
+
+    #[test]
+    fn kecc_members_induce_k_connected_subgraph(g in graph_strategy(10)) {
+        let (_, comps) = traversal::connected_components(&g);
+        prop_assume!(comps == 1 && g.num_vertices() >= 3);
+        let query = [0 as VertexId];
+        let (k, members) = conn::max_kecc_containing(&g, &query);
+        prop_assume!(k >= 1 && members.len() >= 2);
+        let sub = g.induced_subgraph(&members);
+        // Edge connectivity of the answer must be ≥ k: its min cut is ≥ k.
+        let (cut, _) = conn::min_cut(&sub.graph);
+        prop_assert!(cut >= k, "answer claims {k}-connectivity but min cut is {cut}");
+        // And k is maximal in the sense that the query's core number caps it.
+        let cores = core_decomp::core_numbers(&g);
+        prop_assert!(k <= cores[0]);
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_property(g in graph_strategy(14)) {
+        let dist = traversal::bfs_distances(&g, &[0]);
+        for (u, v) in g.edges() {
+            let du = dist[u as usize];
+            let dv = dist[v as usize];
+            if du != usize::MAX && dv != usize::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1, "adjacent distances differ by >1");
+            } else {
+                prop_assert_eq!(du, dv, "adjacent vertices must share reachability");
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges_exactly(g in graph_strategy(12)) {
+        let keep: Vec<VertexId> =
+            (0..g.num_vertices() as VertexId).filter(|v| v % 2 == 0).collect();
+        let sub = g.induced_subgraph(&keep);
+        for (i, &gu) in sub.globals.iter().enumerate() {
+            for (j, &gv) in sub.globals.iter().enumerate() {
+                if i < j {
+                    prop_assert_eq!(
+                        sub.graph.has_edge(i as VertexId, j as VertexId),
+                        g.has_edge(gu, gv)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Loss helpers: the paper's BCE objective (Eq. 3) with optional
+//! class-imbalance weighting.
+
+use std::sync::Arc;
+
+use qdgnn_tensor::{Dense, Tape, Var};
+
+/// Records the mean binary cross-entropy between per-vertex `logits`
+/// (n×1) and the 0/1 ground-truth community vector `target`, optionally
+/// weighted per element.
+///
+/// This is Eq. 3 of the paper, evaluated for one query (the trainer sums
+/// over the batch). The formulation is the numerically-stable
+/// with-logits variant; the model's public outputs apply the sigmoid
+/// separately.
+pub fn bce_loss(
+    tape: &mut Tape,
+    logits: Var,
+    target: Arc<Dense>,
+    weights: Option<Arc<Dense>>,
+) -> Var {
+    tape.bce_with_logits(logits, target, weights)
+}
+
+/// Per-element weights that up-weight the positive (community member)
+/// class by `neg/pos`, balancing the BCE for small communities in large
+/// graphs. Returns `None` when the target is degenerate (all positive or
+/// all negative) or balancing is disabled.
+pub fn positive_class_weights(target: &Dense, enabled: bool) -> Option<Arc<Dense>> {
+    if !enabled {
+        return None;
+    }
+    let pos = target.as_slice().iter().filter(|&&y| y > 0.5).count();
+    let neg = target.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    let w_pos = neg as f32 / pos as f32;
+    let data = target.as_slice().iter().map(|&y| if y > 0.5 { w_pos } else { 1.0 }).collect();
+    Some(Arc::new(Dense::from_vec(target.rows(), target.cols(), data)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_balance_classes() {
+        let target = Dense::column_vector(&[1.0, 0.0, 0.0, 0.0]);
+        let w = positive_class_weights(&target, true).unwrap();
+        assert_eq!(w.get(0, 0), 3.0);
+        assert_eq!(w.get(1, 0), 1.0);
+        // Weighted positive mass equals negative mass.
+        let pos_mass: f32 = 3.0;
+        let neg_mass: f32 = 3.0;
+        assert_eq!(pos_mass, neg_mass);
+    }
+
+    #[test]
+    fn degenerate_targets_get_no_weights() {
+        let all_pos = Dense::column_vector(&[1.0, 1.0]);
+        assert!(positive_class_weights(&all_pos, true).is_none());
+        let all_neg = Dense::column_vector(&[0.0, 0.0]);
+        assert!(positive_class_weights(&all_neg, true).is_none());
+        let mixed = Dense::column_vector(&[1.0, 0.0]);
+        assert!(positive_class_weights(&mixed, false).is_none());
+    }
+
+    #[test]
+    fn bce_loss_is_low_for_confident_correct_logits() {
+        let mut tape = Tape::new();
+        let logits = tape.constant(Dense::column_vector(&[8.0, -8.0]));
+        let target = Arc::new(Dense::column_vector(&[1.0, 0.0]));
+        let loss = bce_loss(&mut tape, logits, target, None);
+        assert!(tape.value(loss).get(0, 0) < 1e-3);
+    }
+
+    #[test]
+    fn bce_loss_is_high_for_confident_wrong_logits() {
+        let mut tape = Tape::new();
+        let logits = tape.constant(Dense::column_vector(&[8.0, -8.0]));
+        let target = Arc::new(Dense::column_vector(&[0.0, 1.0]));
+        let loss = bce_loss(&mut tape, logits, target, None);
+        assert!(tape.value(loss).get(0, 0) > 4.0);
+    }
+}

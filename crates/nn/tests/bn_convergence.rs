@@ -1,0 +1,53 @@
+//! Batch-norm semantics: after the running statistics converge to the
+//! batch statistics, eval-mode output matches train-mode output.
+
+use qdgnn_nn::{BatchNorm1d, Mode};
+use qdgnn_tensor::{Dense, ParamStore, Tape};
+
+#[test]
+fn eval_matches_train_after_running_stats_converge() {
+    let mut store = ParamStore::new();
+    let mut bn = BatchNorm1d::new(&mut store, "bn", 3);
+    let x = Dense::from_rows(&[
+        &[1.0, -2.0, 0.5],
+        &[3.0, 0.0, 1.5],
+        &[5.0, 2.0, 2.5],
+        &[7.0, 4.0, 3.5],
+    ]);
+
+    // Feed the same batch many times; EMA converges to its statistics.
+    let mut train_out = None;
+    for _ in 0..200 {
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let (y, _, stats) = bn.forward(&mut tape, &store, xv, Mode::Train);
+        bn.apply_stats(&stats.unwrap());
+        train_out = Some((*tape.value(y)).clone());
+    }
+
+    let mut tape = Tape::new();
+    let xv = tape.constant(x.clone());
+    let (y, _, stats) = bn.forward(&mut tape, &store, xv, Mode::Eval);
+    assert!(stats.is_none());
+    let eval_out = (*tape.value(y)).clone();
+    assert!(
+        eval_out.approx_eq(&train_out.unwrap(), 1e-2),
+        "eval output must converge to train output"
+    );
+}
+
+#[test]
+fn gamma_beta_shift_and_scale_eval_output() {
+    let mut store = ParamStore::new();
+    let mut bn = BatchNorm1d::new(&mut store, "bn", 1);
+    bn.set_running(Dense::row_vector(&[0.0]), Dense::row_vector(&[1.0]));
+    // Set γ = 2, β = −1 through the store.
+    let ids: Vec<_> = store.ids().collect();
+    store.value_mut(ids[0]).set(0, 0, 2.0);
+    store.value_mut(ids[1]).set(0, 0, -1.0);
+    let mut tape = Tape::new();
+    let x = tape.constant(Dense::column_vector(&[1.0]));
+    let (y, _, _) = bn.forward(&mut tape, &store, x, Mode::Eval);
+    // (1 − 0) / √(1+ε) · 2 − 1 ≈ 1.
+    assert!((tape.value(y).get(0, 0) - 1.0).abs() < 1e-3);
+}

@@ -1,0 +1,152 @@
+//! Elementwise and broadcast kernels shared by the tape's forward and
+//! backward passes.
+
+use crate::dense::Dense;
+
+/// `a + r` where `r` is a 1×c row vector broadcast over the rows of `a`.
+pub fn add_row_broadcast(a: &Dense, r: &Dense) -> Dense {
+    assert_eq!(r.rows(), 1, "broadcast operand must be a row vector");
+    assert_eq!(a.cols(), r.cols(), "broadcast width mismatch");
+    let mut out = a.clone();
+    let rv = r.as_slice();
+    for i in 0..out.rows() {
+        for (o, &b) in out.row_mut(i).iter_mut().zip(rv) {
+            *o += b;
+        }
+    }
+    out
+}
+
+/// `a ∘ r` where `r` is a 1×c row vector broadcast over the rows of `a`.
+pub fn mul_row_broadcast(a: &Dense, r: &Dense) -> Dense {
+    assert_eq!(r.rows(), 1, "broadcast operand must be a row vector");
+    assert_eq!(a.cols(), r.cols(), "broadcast width mismatch");
+    let mut out = a.clone();
+    let rv = r.as_slice();
+    for i in 0..out.rows() {
+        for (o, &b) in out.row_mut(i).iter_mut().zip(rv) {
+            *o *= b;
+        }
+    }
+    out
+}
+
+/// `a ∘ c` where `c` is an n×1 column vector broadcast over the columns
+/// of `a` (each row of `a` scaled by its row's entry of `c`).
+pub fn mul_col_broadcast(a: &Dense, c: &Dense) -> Dense {
+    assert_eq!(c.cols(), 1, "broadcast operand must be a column vector");
+    assert_eq!(a.rows(), c.rows(), "broadcast height mismatch");
+    let mut out = a.clone();
+    for i in 0..out.rows() {
+        let k = c.get(i, 0);
+        for o in out.row_mut(i) {
+            *o *= k;
+        }
+    }
+    out
+}
+
+/// Row sums as an n×1 column vector.
+pub fn row_sums(a: &Dense) -> Dense {
+    let data = (0..a.rows()).map(|r| a.row(r).iter().sum()).collect();
+    Dense::from_vec(a.rows(), 1, data)
+}
+
+/// Broadcasts a 1×c row vector to an n×c matrix.
+pub fn broadcast_rows(r: &Dense, n: usize) -> Dense {
+    assert_eq!(r.rows(), 1, "broadcast operand must be a row vector");
+    let mut out = Dense::zeros(n, r.cols());
+    for i in 0..n {
+        out.row_mut(i).copy_from_slice(r.as_slice());
+    }
+    out
+}
+
+/// Numerically-stable `log(1 + exp(x))`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy with logits, averaged over all elements.
+///
+/// `loss = mean( max(x,0) − x·y + log(1+exp(−|x|)) )`, the standard
+/// stable formulation; `weights` optionally rescales each element
+/// (used for class-imbalance weighting).
+pub fn bce_with_logits_mean(logits: &Dense, targets: &Dense, weights: Option<&Dense>) -> f32 {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    if let Some(w) = weights {
+        assert_eq!(w.shape(), logits.shape(), "bce weight shape mismatch");
+    }
+    let n = logits.len() as f32;
+    let mut acc = 0.0f64;
+    for i in 0..logits.len() {
+        let x = logits.as_slice()[i];
+        let y = targets.as_slice()[i];
+        let term = x.max(0.0) - x * y + softplus(-x.abs());
+        let w = weights.map_or(1.0, |w| w.as_slice()[i]);
+        acc += (term * w) as f64;
+    }
+    (acc / n as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_add_mul() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let r = Dense::row_vector(&[10.0, -1.0]);
+        assert!(add_row_broadcast(&a, &r)
+            .approx_eq(&Dense::from_rows(&[&[11.0, 1.0], &[13.0, 3.0]]), 1e-6));
+        assert!(mul_row_broadcast(&a, &r)
+            .approx_eq(&Dense::from_rows(&[&[10.0, -2.0], &[30.0, -4.0]]), 1e-6));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softplus_limits() {
+        assert!((softplus(0.0) - (2.0f32).ln()).abs() < 1e-6);
+        assert_eq!(softplus(100.0), 100.0);
+        assert!(softplus(-100.0) < 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_naive_formula() {
+        let x = Dense::row_vector(&[0.3, -1.2, 2.0]);
+        let y = Dense::row_vector(&[1.0, 0.0, 1.0]);
+        let stable = bce_with_logits_mean(&x, &y, None);
+        let mut naive = 0.0;
+        for i in 0..3 {
+            let p = sigmoid(x.as_slice()[i]);
+            let t = y.as_slice()[i];
+            naive += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+        }
+        naive /= 3.0;
+        assert!((stable - naive).abs() < 1e-5, "{stable} vs {naive}");
+    }
+}

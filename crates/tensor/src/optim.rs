@@ -1,0 +1,161 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::dense::Dense;
+use crate::param::{GradStore, ParamStore};
+
+/// Plain stochastic gradient descent (used by tests and the ICS-GNN
+/// baseline's tiny per-query models).
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one descent step: `θ ← θ − lr · g`.
+    pub fn step(&self, params: &mut ParamStore, grads: &GradStore) {
+        for id in params.ids().collect::<Vec<_>>() {
+            if let Some(g) = grads.get(id) {
+                let g = g.clone();
+                params.value_mut(id).add_scaled_assign(&g, -self.lr);
+            }
+        }
+    }
+}
+
+/// Configuration for [`Adam`]. Defaults match the paper's training setup
+/// (learning rate 0.001) and the standard Adam moments.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    /// Learning rate (paper: 0.001).
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// L2 weight decay (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba), with optional decoupled weight decay.
+pub struct Adam {
+    config: AdamConfig,
+    step: u64,
+    m: Vec<Dense>,
+    v: Vec<Dense>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with moment buffers matching `params`.
+    pub fn new(config: AdamConfig, params: &ParamStore) -> Self {
+        let m = params.iter().map(|(_, _, p)| Dense::zeros(p.rows(), p.cols())).collect();
+        let v = params.iter().map(|(_, _, p)| Dense::zeros(p.rows(), p.cols())).collect();
+        Adam { config, step: 0, m, v }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+
+    /// Applies one Adam update using the accumulated `grads`.
+    ///
+    /// Parameters without gradients are left untouched (their moment
+    /// buffers also do not decay, matching "lazy" Adam semantics — the
+    /// right behaviour for per-query sparse participation).
+    pub fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        self.step += 1;
+        let c = self.config;
+        let bc1 = 1.0 - c.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - c.beta2.powi(self.step as i32);
+        for id in params.ids().collect::<Vec<_>>() {
+            let Some(g) = grads.get(id) else { continue };
+            let i = id.index();
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            debug_assert_eq!(m.shape(), g.shape(), "moment/grad shape mismatch");
+            let theta = params.value_mut(id);
+            let (ms, vs, gs, ts) =
+                (m.as_mut_slice(), v.as_mut_slice(), g.as_slice(), theta.as_mut_slice());
+            for j in 0..gs.len() {
+                let grad = gs[j] + c.weight_decay * ts[j];
+                ms[j] = c.beta1 * ms[j] + (1.0 - c.beta1) * grad;
+                vs[j] = c.beta2 * vs[j] + (1.0 - c.beta2) * grad * grad;
+                let m_hat = ms[j] / bc1;
+                let v_hat = vs[j] / bc2;
+                ts[j] -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::GradStore;
+
+    /// Minimizing f(x) = (x−3)² should converge to 3 with both optimizers.
+    fn quadratic_grad(x: f32) -> f32 {
+        2.0 * (x - 3.0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut params = ParamStore::new();
+        let id = params.add("x", Dense::row_vector(&[0.0]));
+        let opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let x = params.value(id).get(0, 0);
+            let mut grads = GradStore::for_store(&params);
+            grads.accumulate(id, Dense::row_vector(&[quadratic_grad(x)]));
+            opt.step(&mut params, &grads);
+        }
+        assert!((params.value(id).get(0, 0) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = ParamStore::new();
+        let id = params.add("x", Dense::row_vector(&[0.0]));
+        let mut opt = Adam::new(AdamConfig { lr: 0.1, ..Default::default() }, &params);
+        for _ in 0..500 {
+            let x = params.value(id).get(0, 0);
+            let mut grads = GradStore::for_store(&params);
+            grads.accumulate(id, Dense::row_vector(&[quadratic_grad(x)]));
+            opt.step(&mut params, &grads);
+        }
+        assert!((params.value(id).get(0, 0) - 3.0).abs() < 1e-3);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn adam_skips_parameters_without_gradients() {
+        let mut params = ParamStore::new();
+        let id_a = params.add("a", Dense::row_vector(&[1.0]));
+        let id_b = params.add("b", Dense::row_vector(&[1.0]));
+        let mut opt = Adam::new(AdamConfig::default(), &params);
+        let mut grads = GradStore::for_store(&params);
+        grads.accumulate(id_a, Dense::row_vector(&[1.0]));
+        opt.step(&mut params, &grads);
+        assert_ne!(params.value(id_a).get(0, 0), 1.0);
+        assert_eq!(params.value(id_b).get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Trainable-parameter storage shared between model code, the autodiff
+//! tape and the optimizers.
+//!
+//! Parameter values live behind `Arc` so that (a) recording them as tape
+//! leaves is free, and (b) data-parallel workers can snapshot the whole
+//! store by cloning `Arc`s. The optimizer mutates values through
+//! [`Arc::make_mut`], which is copy-free while no worker holds a clone.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::dense::Dense;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// The store-local index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A named collection of trainable matrices.
+#[derive(Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Arc<Dense>>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn add(&mut self, name: impl Into<String>, value: Dense) -> ParamId {
+        self.values.push(Arc::new(value));
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Registers a `rows × cols` parameter with Xavier/Glorot-uniform
+    /// initialization: `U(−a, a)` with `a = sqrt(6 / (rows + cols))`.
+    pub fn xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+        self.add(name, Dense::from_vec(rows, cols, data))
+    }
+
+    /// Registers a zero-initialized parameter (biases, BN shift).
+    pub fn zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Dense::zeros(rows, cols))
+    }
+
+    /// Registers a one-initialized parameter (BN scale).
+    pub fn ones(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Dense::full(rows, cols, 1.0))
+    }
+
+    /// Shared handle to a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Arc<Dense> {
+        &self.values[id.index()]
+    }
+
+    /// Mutable access for optimizer updates (clones on write only if a
+    /// worker still holds the `Arc`).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Dense {
+        Arc::make_mut(&mut self.values[id.index()])
+    }
+
+    /// Parameter name (for debugging / serialization).
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|v| v.len()).sum()
+    }
+
+    /// Iterator over `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Arc<Dense>)> {
+        self.values
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Deep-copies all values (checkpointing for "best validation weights").
+    pub fn snapshot(&self) -> Vec<Dense> {
+        self.values.iter().map(|v| (**v).clone()).collect()
+    }
+
+    /// Restores values from a [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the store's layout.
+    pub fn restore(&mut self, snapshot: &[Dense]) {
+        assert_eq!(snapshot.len(), self.values.len(), "snapshot layout mismatch");
+        for (slot, value) in self.values.iter_mut().zip(snapshot) {
+            assert_eq!(slot.shape(), value.shape(), "snapshot shape mismatch");
+            *slot = Arc::new(value.clone());
+        }
+    }
+}
+
+/// Per-parameter gradient accumulator aligned with a [`ParamStore`].
+#[derive(Clone, Default)]
+pub struct GradStore {
+    grads: Vec<Option<Dense>>,
+}
+
+impl GradStore {
+    /// Creates an accumulator sized for `store`.
+    pub fn for_store(store: &ParamStore) -> Self {
+        GradStore { grads: (0..store.len()).map(|_| None).collect() }
+    }
+
+    /// Adds `delta` into the slot for `id`.
+    pub fn accumulate(&mut self, id: ParamId, delta: Dense) {
+        match &mut self.grads[id.index()] {
+            Some(g) => g.add_assign(&delta),
+            slot => *slot = Some(delta),
+        }
+    }
+
+    /// Merges another accumulator into this one (data-parallel reduce).
+    pub fn merge(&mut self, other: GradStore) {
+        assert_eq!(self.grads.len(), other.grads.len(), "grad store layout mismatch");
+        for (mine, theirs) in self.grads.iter_mut().zip(other.grads) {
+            if let Some(delta) = theirs {
+                match mine {
+                    Some(g) => g.add_assign(&delta),
+                    slot => *slot = Some(delta),
+                }
+            }
+        }
+    }
+
+    /// Scales every accumulated gradient by `k` (e.g. 1/batch).
+    pub fn scale(&mut self, k: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.scale_assign(k);
+        }
+    }
+
+    /// Gradient for `id`, if any was accumulated.
+    pub fn get(&self, id: ParamId) -> Option<&Dense> {
+        self.grads.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    /// Global L2 norm over all accumulated gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads.iter().flatten().map(Dense::frob_sq).sum::<f32>().sqrt()
+    }
+
+    /// Clips gradients to a maximum global L2 norm, returning the factor
+    /// applied (1.0 if no clipping happened).
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let k = max_norm / norm;
+            self.scale(k);
+            k
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let id = store.xavier("w", 10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(store.value(id).as_slice().iter().all(|v| v.abs() <= a));
+        assert_eq!(store.num_scalars(), 200);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Dense::row_vector(&[1.0, 2.0]));
+        let snap = store.snapshot();
+        store.value_mut(id).set(0, 0, 99.0);
+        store.restore(&snap);
+        assert_eq!(store.value(id).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn grad_store_merge_and_scale() {
+        let mut store = ParamStore::new();
+        let id = store.zeros("w", 1, 2);
+        let mut g1 = GradStore::for_store(&store);
+        let mut g2 = GradStore::for_store(&store);
+        g1.accumulate(id, Dense::row_vector(&[1.0, 2.0]));
+        g2.accumulate(id, Dense::row_vector(&[3.0, 4.0]));
+        g1.merge(g2);
+        g1.scale(0.5);
+        assert!(g1.get(id).unwrap().approx_eq(&Dense::row_vector(&[2.0, 3.0]), 1e-6));
+    }
+
+    #[test]
+    fn clip_global_norm_scales_down() {
+        let mut store = ParamStore::new();
+        let id = store.zeros("w", 1, 2);
+        let mut g = GradStore::for_store(&store);
+        g.accumulate(id, Dense::row_vector(&[3.0, 4.0]));
+        let k = g.clip_global_norm(1.0);
+        assert!((k - 0.2).abs() < 1e-6);
+        assert!((g.global_norm() - 1.0).abs() < 1e-5);
+    }
+}

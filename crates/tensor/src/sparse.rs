@@ -1,0 +1,350 @@
+//! Compressed sparse row (CSR) matrices and sparse–dense products.
+//!
+//! CSR matrices appear in three places in the paper's models:
+//! the (Laplacian-normalized or raw) adjacency matrix used by every
+//! encoder's neighborhood aggregation, the vertex attribute matrix `F`
+//! that seeds the Graph Encoder, and the node–attribute bipartite
+//! incidence matrix `B` used by the Attribute Encoder. All of them are
+//! constants with respect to differentiation, so SpMM only needs a
+//! backward rule for its dense operand (`dB = Aᵀ · dY`).
+
+use crate::dense::Dense;
+
+/// A compressed sparse row matrix of `f32`.
+///
+/// ```
+/// use qdgnn_tensor::{Csr, Dense};
+///
+/// let m = Csr::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0)]);
+/// assert_eq!(m.nnz(), 3);
+/// let d = Dense::from_rows(&[&[1.0], &[10.0], &[100.0]]);
+/// let out = m.spmm(&d);
+/// assert_eq!(out.as_slice(), &[201.0, -10.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Duplicate coordinates are summed. Triplets need not be sorted.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_buf = vec![0u32; triplets.len()];
+        let mut val_buf = vec![0.0f32; triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            let slot = next[r];
+            col_buf[slot] = c as u32;
+            val_buf[slot] = v;
+            next[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            scratch.extend(
+                col_buf[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(val_buf[counts[r]..counts[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        Csr { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds a CSR matrix directly from raw components.
+    ///
+    /// # Panics
+    /// Panics if the component lengths are inconsistent or column indices
+    /// are out of range or unsorted within a row.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indices.len(), values.len(), "indices/values length");
+        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminator");
+        for r in 0..rows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {r} columns not strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < cols, "column index out of range in row {r}");
+            }
+        }
+        Csr { rows, cols, indptr, indices, values }
+    }
+
+    /// A sparse identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterator over `(col, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Value at `(r, c)`, or 0 if not stored.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        match self.indices[lo..hi].binary_search(&(c as u32)) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Transposed copy (CSR of the transpose).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                let slot = next[c];
+                indices[slot] = r as u32;
+                values[slot] = v;
+                next[c] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Sparse × dense product `self * d`.
+    ///
+    /// Cost is `O(nnz · d.cols())`; rows are processed independently and
+    /// split across threads when the work is large enough.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn spmm(&self, d: &Dense) -> Dense {
+        assert_eq!(
+            self.cols,
+            d.rows(),
+            "spmm shape mismatch: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            d.rows(),
+            d.cols()
+        );
+        let mut out = Dense::zeros(self.rows, d.cols());
+        let work = self.nnz() * d.cols();
+        if work >= 4_000_000 && self.rows > 1 {
+            self.spmm_parallel(d, &mut out);
+        } else {
+            self.spmm_rows(d, &mut out, 0, self.rows);
+        }
+        out
+    }
+
+    fn spmm_rows(&self, d: &Dense, out: &mut Dense, row_start: usize, row_end: usize) {
+        let n = d.cols();
+        for r in row_start..row_end {
+            // Split borrows: rows of `out` are disjoint from `d`.
+            let out_row_ptr = r * n;
+            for (c, v) in self.row_iter(r) {
+                let d_row = d.row(c);
+                let out_slice = &mut out.as_mut_slice()[out_row_ptr..out_row_ptr + n];
+                for (o, &dv) in out_slice.iter_mut().zip(d_row) {
+                    *o += v * dv;
+                }
+            }
+        }
+    }
+
+    fn spmm_parallel(&self, d: &Dense, out: &mut Dense) {
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(self.rows);
+        if threads <= 1 {
+            self.spmm_rows(d, out, 0, self.rows);
+            return;
+        }
+        let n = d.cols();
+        let chunk_rows = self.rows.div_ceil(threads);
+        let chunks: Vec<&mut [f32]> = out.as_mut_slice().chunks_mut(chunk_rows * n).collect();
+        crossbeam::thread::scope(|scope| {
+            for (idx, chunk) in chunks.into_iter().enumerate() {
+                let row_start = idx * chunk_rows;
+                let row_end = (row_start + chunk.len() / n).min(self.rows);
+                scope.spawn(move |_| {
+                    for r in row_start..row_end {
+                        let off = (r - row_start) * n;
+                        let out_row = &mut chunk[off..off + n];
+                        for (c, v) in self.row_iter(r) {
+                            let d_row = d.row(c);
+                            for (o, &dv) in out_row.iter_mut().zip(d_row) {
+                                *o += v * dv;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("spmm worker thread panicked");
+    }
+
+    /// Densifies the matrix (testing / small problems only).
+    pub fn to_dense(&self) -> Dense {
+        let mut out = Dense::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Row-normalizes the matrix in place so each non-empty row sums to 1.
+    pub fn row_normalize(&mut self) {
+        for r in 0..self.rows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let s: f32 = self.values[lo..hi].iter().sum();
+            if s != 0.0 {
+                for v in &mut self.values[lo..hi] {
+                    *v /= s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_triplets(
+            3,
+            4,
+            &[(0, 1, 2.0), (0, 3, -1.0), (1, 0, 4.0), (2, 2, 1.5), (2, 2, 0.5)],
+        )
+    }
+
+    #[test]
+    fn triplets_sorted_and_merged() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(2, 2), 2.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 3), 0.0);
+        let row0: Vec<_> = m.row_iter(0).collect();
+        assert_eq!(row0, vec![(1, 2.0), (3, -1.0)]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let d = Dense::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[2.0, 3.0],
+            &[-1.0, 1.0],
+        ]);
+        let out = m.spmm(&d);
+        let expect = m.to_dense().matmul(&d);
+        assert!(out.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 3);
+        assert!(t.transpose().to_dense().approx_eq(&m.to_dense(), 0.0));
+        assert!(t.to_dense().approx_eq(&m.to_dense().transpose(), 0.0));
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let d = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Csr::identity(2);
+        assert!(i.spmm(&d).approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn row_normalize_sums_to_one() {
+        let mut m = sample();
+        m.row_normalize();
+        let s: f32 = m.row_iter(0).map(|(_, v)| v).sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based gradient checking: every tape operator's analytic
+//! gradient must match central finite differences on random inputs.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use qdgnn_tensor::{Csr, Dense, Tape, Var};
+
+const FD_EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Builds a scalar loss from input leaves via `f` and compares the tape
+/// gradient of each input against central finite differences.
+fn check_gradients(inputs: &[Dense], f: impl Fn(&mut Tape, &[Var]) -> Var) {
+    // Analytic gradients.
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|x| tape.leaf(Arc::new(x.clone()))).collect();
+    let loss = f(&mut tape, &vars);
+    assert_eq!(tape.shape(loss), (1, 1), "loss must be scalar");
+    let grads = tape.backward(loss);
+
+    // Finite differences, one input element at a time.
+    for (i, input) in inputs.iter().enumerate() {
+        let analytic = grads
+            .get(vars[i])
+            .cloned()
+            .unwrap_or_else(|| Dense::zeros(input.rows(), input.cols()));
+        for j in 0..input.len() {
+            let eval = |delta: f32| -> f32 {
+                let mut perturbed: Vec<Dense> = inputs.to_vec();
+                perturbed[i].as_mut_slice()[j] += delta;
+                let mut t = Tape::new();
+                let vs: Vec<Var> = perturbed.iter().map(|x| t.leaf(Arc::new(x.clone()))).collect();
+                let l = f(&mut t, &vs);
+                t.value(l).get(0, 0)
+            };
+            let numeric = (eval(FD_EPS) - eval(-FD_EPS)) / (2.0 * FD_EPS);
+            let got = analytic.as_slice()[j];
+            let scale = 1.0f32.max(numeric.abs()).max(got.abs());
+            assert!(
+                (numeric - got).abs() <= TOL * scale,
+                "input {i} element {j}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+}
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Dense> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Dense::from_vec(rows, cols, v))
+}
+
+/// Values bounded away from zero, so ReLU's kink cannot sit inside the
+/// finite-difference interval.
+fn kink_free_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Dense> {
+    proptest::collection::vec((0.1f32..2.0, proptest::bool::ANY), rows * cols).prop_map(
+        move |v| {
+            let data = v.into_iter().map(|(m, neg)| if neg { -m } else { m }).collect();
+            Dense::from_vec(rows, cols, data)
+        },
+    )
+}
+
+fn positive_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Dense> {
+    proptest::collection::vec(0.5f32..3.0, rows * cols)
+        .prop_map(move |v| Dense::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_chain(a in small_matrix(3, 2), b in small_matrix(2, 4), c in small_matrix(4, 2)) {
+        check_gradients(&[a, b, c], |t, v| {
+            let ab = t.matmul(v[0], v[1]);
+            let abc = t.matmul(ab, v[2]);
+            t.mean_all(abc)
+        });
+    }
+
+    #[test]
+    fn elementwise_mix(a in small_matrix(3, 3), b in small_matrix(3, 3)) {
+        check_gradients(&[a, b], |t, v| {
+            let s = t.add(v[0], v[1]);
+            let d = t.sub(s, v[1]);
+            let h = t.hadamard(d, v[0]);
+            let sc = t.scale(h, 0.7);
+            let sh = t.add_scalar(sc, 0.1);
+            t.mean_all(sh)
+        });
+    }
+
+    #[test]
+    fn activations(a in kink_free_matrix(4, 2)) {
+        check_gradients(&[a], |t, v| {
+            let r = t.relu(v[0]);
+            let s = t.sigmoid(r);
+            t.mean_all(s)
+        });
+    }
+
+    #[test]
+    fn row_broadcasts(a in small_matrix(4, 3), r in small_matrix(1, 3), s in small_matrix(1, 3)) {
+        check_gradients(&[a, r, s], |t, v| {
+            let x = t.add_row(v[0], v[1]);
+            let y = t.mul_row(x, v[2]);
+            t.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn column_broadcast_gating(a in small_matrix(4, 3), c in small_matrix(4, 1)) {
+        // The attention-fusion primitive: per-row gates.
+        check_gradients(&[a, c], |t, v| {
+            let gate = t.sigmoid(v[1]);
+            let y = t.mul_col(v[0], gate);
+            t.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn batchnorm_composition(a in small_matrix(5, 2), g in positive_matrix(1, 2), b in small_matrix(1, 2)) {
+        // The exact op sequence qdgnn-nn uses for train-mode batch norm.
+        check_gradients(&[a, g, b], |t, v| {
+            let mu = t.col_mean(v[0]);
+            let neg_mu = t.scale(mu, -1.0);
+            let xc = t.add_row(v[0], neg_mu);
+            let sq = t.hadamard(xc, xc);
+            let var = t.col_mean(sq);
+            let var_eps = t.add_scalar(var, 1e-3);
+            let istd = t.rsqrt(var_eps);
+            let xhat = t.mul_row(xc, istd);
+            let scaled = t.mul_row(xhat, v[1]);
+            let out = t.add_row(scaled, v[2]);
+            let sq_out = t.hadamard(out, out);
+            t.mean_all(sq_out)
+        });
+    }
+
+    #[test]
+    fn concat_and_slice(a in small_matrix(3, 2), b in small_matrix(3, 3)) {
+        check_gradients(&[a, b], |t, v| {
+            let c = t.concat_cols(&[v[0], v[1]]);
+            let s = t.sigmoid(c);
+            t.mean_all(s)
+        });
+    }
+
+    #[test]
+    fn bce_with_logits(a in small_matrix(2, 3)) {
+        let target = Arc::new(Dense::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 0.0, 1.0]]));
+        check_gradients(&[a], move |t, v| {
+            t.bce_with_logits(v[0], Arc::clone(&target), None)
+        });
+    }
+
+    #[test]
+    fn spmm_through_sparse(b in small_matrix(4, 3)) {
+        let m = Arc::new(Csr::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 2, -0.5), (1, 1, 2.0), (2, 3, 1.5), (2, 0, 0.25)],
+        ));
+        let mt = Arc::new(m.transpose());
+        // Sigmoid (smooth) instead of ReLU: the sparse product can land
+        // arbitrarily close to ReLU's kink, where finite differences are
+        // systematically off by ~2× regardless of correctness.
+        check_gradients(&[b], move |t, v| {
+            let y = t.spmm(&m, &mt, v[0]);
+            let r = t.sigmoid(y);
+            t.mean_all(r)
+        });
+    }
+}

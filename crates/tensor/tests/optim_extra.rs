@@ -1,0 +1,58 @@
+//! Extra optimizer semantics: weight decay, lazy updates, determinism.
+
+use qdgnn_tensor::{Adam, AdamConfig, Dense, GradStore, ParamStore};
+
+#[test]
+fn weight_decay_pulls_parameters_toward_zero() {
+    let mut params = ParamStore::new();
+    let id = params.add("w", Dense::row_vector(&[10.0]));
+    let mut opt = Adam::new(
+        AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() },
+        &params,
+    );
+    for _ in 0..200 {
+        // Zero task gradient: only decay acts.
+        let mut grads = GradStore::for_store(&params);
+        grads.accumulate(id, Dense::row_vector(&[0.0]));
+        opt.step(&mut params, &grads);
+    }
+    assert!(
+        params.value(id).get(0, 0).abs() < 1.0,
+        "decay should shrink the weight, got {}",
+        params.value(id).get(0, 0)
+    );
+}
+
+#[test]
+fn adam_is_deterministic_across_instances() {
+    let run = || {
+        let mut params = ParamStore::new();
+        let id = params.add("w", Dense::row_vector(&[1.0, -2.0]));
+        let mut opt = Adam::new(AdamConfig::default(), &params);
+        for step in 0..50 {
+            let mut grads = GradStore::for_store(&params);
+            let g = ((step % 7) as f32 - 3.0) * 0.1;
+            grads.accumulate(id, Dense::row_vector(&[g, -g]));
+            opt.step(&mut params, &grads);
+        }
+        params.value(id).as_slice().to_vec()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn gradient_accumulation_orders_do_not_matter_for_sums() {
+    // GradStore::merge is a sum; A+B == B+A elementwise for these values.
+    let mut params = ParamStore::new();
+    let id = params.zeros("w", 1, 3);
+    let mk = |v: [f32; 3]| {
+        let mut g = GradStore::for_store(&params);
+        g.accumulate(id, Dense::row_vector(&v));
+        g
+    };
+    let mut ab = mk([1.0, 2.0, 3.0]);
+    ab.merge(mk([0.5, -1.0, 2.0]));
+    let mut ba = mk([0.5, -1.0, 2.0]);
+    ba.merge(mk([1.0, 2.0, 3.0]));
+    assert!(ab.get(id).unwrap().approx_eq(ba.get(id).unwrap(), 0.0));
+}

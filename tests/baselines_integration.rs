@@ -1,0 +1,106 @@
+//! Integration of the five baselines against generated datasets: every
+//! method must return a community containing its query, and the
+//! classical methods must behave per their definitions.
+
+use qdgnn::prelude::*;
+
+fn toy_queries(mode: AttrMode, single: bool) -> (Dataset, Vec<Query>) {
+    let data = qdgnn::data::presets::toy();
+    let max_v = if single { 1 } else { 3 };
+    let queries = qdgnn::data::queries::generate(&data, 12, 1, max_v, mode, 23);
+    (data, queries)
+}
+
+#[test]
+fn every_method_contains_its_query_vertices() {
+    let (data, queries) = toy_queries(AttrMode::FromCommunity, true);
+    let ctc = Ctc::index(data.graph.graph());
+    let atc = Atc::index(data.graph.graph());
+    let kecc = KEcc::new();
+    let acq = Acq::new();
+    let methods: Vec<&dyn CommunityMethod> = vec![&ctc, &kecc, &acq, &atc];
+    for method in methods {
+        for q in &queries {
+            let c = method.search(&data.graph, q);
+            assert!(!c.is_empty(), "{} returned empty community", method.name());
+            for v in &q.vertices {
+                assert!(
+                    c.contains(v),
+                    "{} dropped query vertex {v} (community {c:?})",
+                    method.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn icsgnn_contains_query_and_respects_k() {
+    let (data, queries) = toy_queries(AttrMode::Empty, false);
+    let ics = IcsGnn::new(qdgnn::baselines::IcsGnnConfig {
+        hidden: 16,
+        epochs: 15,
+        candidate_size: 50,
+        ..Default::default()
+    });
+    for q in queries.iter().take(3) {
+        let c = ics.search(&data.graph, q);
+        for v in &q.vertices {
+            assert!(c.contains(v));
+        }
+        // k-sized selection: no larger than the candidate could support.
+        assert!(c.len() <= data.graph.num_vertices());
+    }
+}
+
+#[test]
+fn acq_attribute_filtering_only_restricts() {
+    // ACQ's attribute stage filters the structural k-core community; the
+    // attributed answer is therefore always a subset of the structural
+    // one (exactly the rigidity the paper's AQD-GNN is built to avoid).
+    let (data, afc) = toy_queries(AttrMode::FromCommunity, true);
+    let acq = Acq::new();
+    for q in &afc {
+        let with_attrs = acq.search(&data.graph, q);
+        let structural = acq.search(&data.graph, &Query { attrs: vec![], ..q.clone() });
+        assert!(
+            with_attrs.iter().all(|v| structural.contains(v)),
+            "attributed ACQ answer must be a subset of the structural one"
+        );
+        assert!(with_attrs.len() <= structural.len());
+    }
+}
+
+#[test]
+fn methods_report_capabilities_consistently() {
+    let data = qdgnn::data::presets::toy();
+    let ctc = Ctc::index(data.graph.graph());
+    let atc = Atc::index(data.graph.graph());
+    assert!(!ctc.supports_attrs());
+    assert!(ctc.supports_multi_vertex());
+    assert!(!KEcc::new().supports_attrs());
+    assert!(Acq::new().supports_attrs());
+    assert!(!Acq::new().supports_multi_vertex());
+    assert!(atc.supports_attrs());
+    assert!(atc.supports_multi_vertex());
+}
+
+#[test]
+fn baseline_communities_are_connected() {
+    let (data, queries) = toy_queries(AttrMode::FromCommunity, true);
+    let ctc = Ctc::index(data.graph.graph());
+    let atc = Atc::index(data.graph.graph());
+    for q in &queries {
+        for (name, c) in [
+            ("CTC", ctc.search(&data.graph, q)),
+            ("ATC", atc.search(&data.graph, q)),
+            ("ACQ", Acq::new().search(&data.graph, q)),
+            ("ECC", KEcc::new().search(&data.graph, q)),
+        ] {
+            assert!(
+                qdgnn::graph::traversal::is_connected_subset(data.graph.graph(), &c),
+                "{name} answer must be connected, got {c:?}"
+            );
+        }
+    }
+}

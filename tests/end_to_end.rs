@@ -1,0 +1,123 @@
+//! End-to-end integration: offline training + online query for all three
+//! models, exactly as a library user would drive them.
+
+use qdgnn::prelude::*;
+
+fn toy_split(mode: AttrMode) -> (Dataset, GraphTensors, QuerySplit) {
+    let data = qdgnn::data::presets::toy();
+    let config = ModelConfig::fast();
+    let tensors = GraphTensors::new(&data.graph, config.adj_norm, config.fusion_graph_attr_cap);
+    let queries = qdgnn::data::queries::generate(&data, 60, 1, 2, mode, 17);
+    let split = QuerySplit::new(queries, 30, 15, 15);
+    (data, tensors, split)
+}
+
+fn fast_trainer(epochs: usize) -> Trainer {
+    Trainer::new(TrainConfig { epochs, ..TrainConfig::fast() })
+}
+
+#[test]
+fn qdgnn_full_pipeline_beats_trivial_baseline() {
+    let (_, tensors, split) = toy_split(AttrMode::Empty);
+    let trained = fast_trainer(30).train(
+        QdGnn::new(ModelConfig::fast(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    let metrics = evaluate(&trained.model, &tensors, &split.test, trained.gamma);
+
+    // Trivial baseline: answer only the query vertices.
+    let trivial: Vec<Vec<VertexId>> = split.test.iter().map(|q| q.vertices.clone()).collect();
+    let truth: Vec<Vec<VertexId>> = split.test.iter().map(|q| q.truth.clone()).collect();
+    let trivial_f1 = CommunityMetrics::micro(&trivial, &truth).f1;
+
+    assert!(
+        metrics.f1 > trivial_f1 + 0.15,
+        "QD-GNN ({:.3}) must clearly beat query-echo ({:.3})",
+        metrics.f1,
+        trivial_f1
+    );
+}
+
+#[test]
+fn aqdgnn_attributed_pipeline_works() {
+    let (_, tensors, split) = toy_split(AttrMode::FromCommunity);
+    let trained = fast_trainer(30).train(
+        AqdGnn::new(ModelConfig::fast(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    let metrics = evaluate(&trained.model, &tensors, &split.test, trained.gamma);
+    assert!(metrics.f1 > 0.5, "AQD-GNN should learn toy communities, got {:.3}", metrics.f1);
+    assert!(metrics.precision > 0.0 && metrics.recall > 0.0);
+}
+
+#[test]
+fn simple_model_full_pipeline_runs() {
+    let (_, tensors, split) = toy_split(AttrMode::Empty);
+    let trained = fast_trainer(20).train(
+        SimpleQdGnn::new(ModelConfig::fast()),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    let communities = predict_communities(&trained.model, &tensors, &split.test, trained.gamma);
+    assert_eq!(communities.len(), split.test.len());
+    for (c, q) in communities.iter().zip(&split.test) {
+        for v in &q.vertices {
+            assert!(c.contains(v), "query vertex must be in its community");
+        }
+    }
+}
+
+#[test]
+fn predicted_communities_are_connected_with_queries() {
+    let (data, tensors, split) = toy_split(AttrMode::Empty);
+    let trained = fast_trainer(15).train(
+        QdGnn::new(ModelConfig::fast(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    for q in &split.test {
+        if q.vertices.len() > 1 {
+            continue; // multi-vertex queries may legitimately split
+        }
+        let c = predict_community(&trained.model, &tensors, q, trained.gamma);
+        assert!(
+            qdgnn::graph::traversal::is_connected_subset(data.graph.graph(), &c),
+            "single-vertex query answer must be connected"
+        );
+    }
+}
+
+#[test]
+fn training_is_reproducible_bitwise() {
+    let (_, tensors, split) = toy_split(AttrMode::Empty);
+    let run = || {
+        let trained = fast_trainer(8).train(
+            QdGnn::new(ModelConfig::fast(), tensors.d),
+            &tensors,
+            &split.train,
+            &split.val,
+        );
+        (trained.report.loss_history.clone(), trained.gamma)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn gamma_selected_from_validation_grid() {
+    let (_, tensors, split) = toy_split(AttrMode::Empty);
+    let cfg = TrainConfig { epochs: 10, gamma_grid: vec![0.25, 0.5], ..TrainConfig::fast() };
+    let trained = Trainer::new(cfg).train(
+        QdGnn::new(ModelConfig::fast(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    assert!(trained.gamma == 0.25 || trained.gamma == 0.5);
+    assert!(!trained.report.val_history.is_empty());
+}

@@ -1,0 +1,55 @@
+//! Persistence integration: a dataset and its queries survive a
+//! save/load round trip and produce identical training outcomes.
+
+use qdgnn::data::io;
+use qdgnn::prelude::*;
+
+#[test]
+fn loaded_dataset_trains_identically() {
+    let data = qdgnn::data::presets::toy();
+    let dir = std::env::temp_dir().join("qdgnn_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("toy.txt");
+    io::save_dataset(&path, &data).unwrap();
+    let loaded = io::load_dataset(&path).unwrap();
+
+    let run = |d: &Dataset| {
+        let config = ModelConfig::fast();
+        let tensors =
+            GraphTensors::new(&d.graph, config.adj_norm, config.fusion_graph_attr_cap);
+        let queries = qdgnn::data::queries::generate(d, 40, 1, 2, AttrMode::Empty, 3);
+        let split = QuerySplit::new(queries, 20, 10, 10);
+        let trained = Trainer::new(TrainConfig { epochs: 6, ..TrainConfig::fast() }).train(
+            QdGnn::new(config, tensors.d),
+            &tensors,
+            &split.train,
+            &split.val,
+        );
+        trained.report.loss_history
+    };
+    assert_eq!(run(&data), run(&loaded));
+}
+
+#[test]
+fn query_files_round_trip_through_disk() {
+    let data = qdgnn::data::presets::toy();
+    let queries = qdgnn::data::queries::generate(&data, 25, 1, 3, AttrMode::FromNode, 9);
+    let dir = std::env::temp_dir().join("qdgnn_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("queries.txt");
+    io::save_queries(&path, &queries).unwrap();
+    assert_eq!(io::load_queries(&path).unwrap(), queries);
+}
+
+#[test]
+fn enlarged_dataset_round_trips() {
+    let data = qdgnn::data::presets::toy();
+    let enlarged = qdgnn::data::enlarge_within_communities(&data, 0.7, 5);
+    let dir = std::env::temp_dir().join("qdgnn_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("enlarged.txt");
+    io::save_dataset(&path, &enlarged).unwrap();
+    let loaded = io::load_dataset(&path).unwrap();
+    assert_eq!(loaded.communities, enlarged.communities);
+    assert_eq!(loaded.graph.graph().num_edges(), enlarged.graph.graph().num_edges());
+}

@@ -1,0 +1,146 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! generated dataset, query and score vector.
+
+use proptest::prelude::*;
+use qdgnn::prelude::*;
+
+/// Strategy: a small random generator configuration.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 8.0f64..20.0, 20usize..60, 1u64..500).prop_map(
+        |(communities, size, vocab, seed)| {
+            GeneratorConfig {
+                num_communities: communities,
+                community_size_mean: size,
+                vocab_size: vocab,
+                topics_per_community: (vocab / 4).max(3),
+                attrs_per_vertex_mean: 4.0,
+                seed,
+                ..Default::default()
+            }
+            .generate("prop")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_communities_are_connected_and_in_range(data in dataset_strategy()) {
+        let n = data.graph.num_vertices() as VertexId;
+        for members in &data.communities {
+            prop_assert!(!members.is_empty());
+            prop_assert!(members.iter().all(|&v| v < n));
+            prop_assert!(qdgnn::graph::traversal::is_connected_subset(
+                data.graph.graph(),
+                members
+            ));
+        }
+    }
+
+    #[test]
+    fn identification_output_contains_query_and_respects_threshold(
+        data in dataset_strategy(),
+        seed in 0u64..1000,
+        gamma in 0.05f32..0.95,
+    ) {
+        let config = ModelConfig::fast();
+        let tensors = GraphTensors::new(
+            &data.graph,
+            config.adj_norm,
+            config.fusion_graph_attr_cap,
+        );
+        let queries = qdgnn::data::queries::generate(&data, 4, 1, 3, AttrMode::Empty, seed);
+        // Scores from a deterministic hash — arbitrary but reproducible.
+        let scores: Vec<f32> = (0..tensors.n)
+            .map(|v| ((v as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 / 1000.0)
+            .collect();
+        for q in &queries {
+            let c = identify_community(&tensors, &q.vertices, &scores, gamma, false);
+            // Query vertices always present.
+            for v in &q.vertices {
+                prop_assert!(c.binary_search(v).is_ok());
+            }
+            // Every non-query member passed the threshold.
+            for &v in &c {
+                if !q.vertices.contains(&v) {
+                    prop_assert!(scores[v as usize] >= gamma);
+                }
+            }
+            // Sorted and duplicate-free.
+            prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_symmetric_on_perfection(
+        data in dataset_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let queries = qdgnn::data::queries::generate(&data, 6, 1, 2, AttrMode::Empty, seed);
+        let truth: Vec<Vec<VertexId>> = queries.iter().map(|q| q.truth.clone()).collect();
+        let m = CommunityMetrics::micro(&truth, &truth);
+        prop_assert!((m.f1 - 1.0).abs() < 1e-12);
+        // Random half predictions stay within [0, 1].
+        let half: Vec<Vec<VertexId>> = truth
+            .iter()
+            .map(|t| t[..t.len() / 2].to_vec())
+            .collect();
+        let m = CommunityMetrics::micro(&half, &truth);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+    }
+
+    #[test]
+    fn model_inference_is_pure(
+        data in dataset_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let config = ModelConfig { layers: 2, hidden: 8, ..ModelConfig::fast() };
+        let tensors = GraphTensors::new(
+            &data.graph,
+            config.adj_norm,
+            config.fusion_graph_attr_cap,
+        );
+        let model = AqdGnn::new(config, tensors.d);
+        let q = qdgnn::data::queries::generate(&data, 1, 1, 2, AttrMode::FromNode, seed).remove(0);
+        let qv = QueryVectors::encode(tensors.n, tensors.d, &q.vertices, &q.attrs);
+        let s1 = predict_scores(&model, &tensors, &qv);
+        let s2 = predict_scores(&model, &tensors, &qv);
+        prop_assert_eq!(s1.clone(), s2);
+        prop_assert!(s1.iter().all(|s| (0.0..=1.0).contains(s) && s.is_finite()));
+    }
+
+    #[test]
+    fn fusion_graph_is_supergraph_of_structure(data in dataset_strategy()) {
+        let fusion = data.graph.fusion_graph(50);
+        for (u, v) in data.graph.graph().edges() {
+            prop_assert!(fusion.has_edge(u, v));
+        }
+        prop_assert!(fusion.num_edges() >= data.graph.graph().num_edges());
+    }
+
+    #[test]
+    fn core_and_truss_invariants(data in dataset_strategy()) {
+        let g = data.graph.graph();
+        let cores = qdgnn::graph::core_decomp::core_numbers(g);
+        // Core number never exceeds degree.
+        for v in g.vertices() {
+            prop_assert!(cores[v as usize] <= g.degree(v));
+        }
+        let decomp = qdgnn::graph::truss::truss_decomposition(g);
+        // Trussness of an edge ≤ min endpoint core number + 2 is not a
+        // theorem; the sound invariant is truss ≥ 2 and ≤ support + 2.
+        for (i, &(u, v)) in decomp.edges().iter().enumerate() {
+            let t = decomp.trussness()[i];
+            prop_assert!(t >= 2);
+            let support = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| w != v && g.has_edge(v, w))
+                .count();
+            prop_assert!(t <= support + 2, "edge ({u},{v}) truss {t} support {support}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration of the serving extensions: graph-cache endpoint, model
+//! persistence across processes-worth of state, and the extra k-clique
+//! substrate method.
+
+use qdgnn::prelude::*;
+
+#[test]
+fn train_save_load_serve_round_trip() {
+    let data = qdgnn::data::presets::toy();
+    let config = ModelConfig::fast();
+    let tensors = GraphTensors::new(&data.graph, config.adj_norm, config.fusion_graph_attr_cap);
+    let queries = qdgnn::data::queries::generate(&data, 50, 1, 2, AttrMode::FromCommunity, 13);
+    let split = QuerySplit::new(queries, 25, 13, 12);
+    let trained = Trainer::new(TrainConfig { epochs: 20, ..TrainConfig::fast() }).train(
+        AqdGnn::new(config.clone(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+
+    // Persist + reload into a fresh model.
+    let dir = std::env::temp_dir().join("qdgnn_serving_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("served.model");
+    save_model(&path, &trained.model, trained.gamma).unwrap();
+    let mut fresh = AqdGnn::new(ModelConfig { seed: 4242, ..config }, tensors.d);
+    let gamma = load_model(&path, &mut fresh).unwrap();
+    assert_eq!(gamma, trained.gamma);
+
+    // The reloaded model serves identically through the cached endpoint.
+    let original = OnlineStage::new(&trained.model, &tensors, trained.gamma);
+    let reloaded = OnlineStage::new(&fresh, &tensors, gamma);
+    assert!(original.is_cached() && reloaded.is_cached());
+    for q in &split.test {
+        assert_eq!(original.query(q), reloaded.query(q));
+    }
+    let m1 = original.evaluate(&split.test);
+    let m2 = reloaded.evaluate(&split.test);
+    assert_eq!(m1.f1, m2.f1);
+    assert!(m1.f1 > 0.4, "served model should still be good, F1={:.3}", m1.f1);
+}
+
+#[test]
+fn cached_endpoint_agrees_with_reference_pipeline_on_attributed_queries() {
+    let data = qdgnn::data::presets::toy();
+    let config = ModelConfig::fast();
+    let tensors = GraphTensors::new(&data.graph, config.adj_norm, config.fusion_graph_attr_cap);
+    let model = AqdGnn::new(config, tensors.d);
+    let stage = OnlineStage::new(&model, &tensors, 0.5);
+    let queries = qdgnn::data::queries::generate(&data, 8, 1, 3, AttrMode::FromNode, 77);
+    for q in &queries {
+        assert_eq!(stage.query(q), predict_community(&model, &tensors, q, 0.5));
+    }
+}
+
+#[test]
+fn kclique_method_participates_in_common_interface() {
+    let data = qdgnn::data::presets::toy();
+    let kc = KClique::new();
+    let queries = qdgnn::data::queries::generate(&data, 6, 1, 1, AttrMode::Empty, 3);
+    for q in &queries {
+        let c = kc.search(&data.graph, q);
+        assert!(c.contains(&q.vertices[0]));
+        assert!(
+            qdgnn::graph::traversal::is_connected_subset(data.graph.graph(), &c),
+            "percolated community must be connected"
+        );
+    }
+}
+
+#[test]
+fn attention_fusion_trains_through_public_api() {
+    let data = qdgnn::data::presets::toy();
+    let config = ModelConfig { fusion: FusionAgg::Attention, ..ModelConfig::fast() };
+    let tensors = GraphTensors::new(&data.graph, config.adj_norm, config.fusion_graph_attr_cap);
+    let queries = qdgnn::data::queries::generate(&data, 40, 1, 2, AttrMode::FromCommunity, 21);
+    let split = QuerySplit::new(queries, 20, 10, 10);
+    let trained = Trainer::new(TrainConfig { epochs: 20, ..TrainConfig::fast() }).train(
+        AqdGnn::new(config, tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    let m = evaluate(&trained.model, &tensors, &split.test, trained.gamma);
+    assert!(m.f1 > 0.4, "attention fusion should learn toy data, F1={:.3}", m.f1);
+}
