@@ -100,6 +100,9 @@ pub fn aqd_untrained() -> Fixture<AqdGnn> {
             loss_history: vec![],
             val_history: vec![],
             train_seconds: 0.0,
+            skipped_steps: 0,
+            recoveries: 0,
+            diverged: false,
         },
     };
     Fixture { dataset, tensors, split, trained }

@@ -59,7 +59,7 @@ impl Default for ModelConfig {
             dropout: 0.5,
             fusion: FusionAgg::Concat,
             feature_fusion: true,
-            adj_norm: AdjNorm::GcnSym,
+            adj_norm: default_adj_norm(),
             class_balance: true,
             fusion_graph_attr_cap: 100,
             seed: 1,

@@ -1,0 +1,161 @@
+//! Typed errors for the serving, loading and training paths.
+//!
+//! The online stage runs indefinitely against untrusted input (§4.3): a
+//! malformed query or a corrupt model file must surface as an error the
+//! caller can handle, never as a process abort. Everything reachable from
+//! [`crate::serve::OnlineStage::try_query`] and
+//! [`crate::persist::load_model`] reports through this type.
+
+use std::fmt;
+use std::io;
+
+use qdgnn_graph::attributed::AttrId;
+use qdgnn_graph::VertexId;
+
+/// Result alias for fallible qdgnn-core operations.
+pub type Result<T> = std::result::Result<T, QdgnnError>;
+
+/// Error hierarchy of the train/serve framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum QdgnnError {
+    /// A query vertex id is not a vertex of the served graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// A query attribute id is not in the graph's attribute vocabulary.
+    AttrOutOfRange {
+        /// The offending attribute id.
+        attr: AttrId,
+        /// Attribute vocabulary size.
+        d: usize,
+    },
+    /// A query carried no vertices (the paper's queries are non-empty
+    /// vertex sets, §4.1).
+    EmptyQuery,
+    /// A score vector does not match the graph it is applied to.
+    ScoreLengthMismatch {
+        /// Expected length (number of vertices).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A model/checkpoint file is corrupt or does not match the target
+    /// model's architecture or dimensions.
+    InvalidData(String),
+    /// An underlying I/O failure (missing file, permissions, …).
+    Io(io::Error),
+    /// Training diverged and exhausted its recovery budget.
+    Diverged {
+        /// Epoch at which recovery gave up.
+        epoch: usize,
+        /// Recoveries attempted before giving up.
+        recoveries: usize,
+    },
+    /// A non-finite value (NaN/Inf) surfaced where recovery was
+    /// impossible.
+    NonFinite(String),
+}
+
+impl QdgnnError {
+    /// Shorthand for [`QdgnnError::InvalidData`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        QdgnnError::InvalidData(msg.into())
+    }
+
+    /// Whether the error describes malformed input (as opposed to an
+    /// environment/I/O failure) — useful for HTTP-ish status mapping.
+    pub fn is_bad_input(&self) -> bool {
+        matches!(
+            self,
+            QdgnnError::VertexOutOfRange { .. }
+                | QdgnnError::AttrOutOfRange { .. }
+                | QdgnnError::EmptyQuery
+                | QdgnnError::ScoreLengthMismatch { .. }
+                | QdgnnError::InvalidData(_)
+        )
+    }
+}
+
+impl fmt::Display for QdgnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QdgnnError::VertexOutOfRange { vertex, n } => {
+                write!(f, "query vertex {vertex} out of range (graph has {n} vertices)")
+            }
+            QdgnnError::AttrOutOfRange { attr, d } => {
+                write!(f, "query attribute {attr} out of range (vocabulary has {d} attributes)")
+            }
+            QdgnnError::EmptyQuery => write!(f, "query must contain at least one vertex"),
+            QdgnnError::ScoreLengthMismatch { expected, got } => {
+                write!(f, "score vector length {got} does not match graph size {expected}")
+            }
+            QdgnnError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            QdgnnError::Io(e) => write!(f, "i/o error: {e}"),
+            QdgnnError::Diverged { epoch, recoveries } => write!(
+                f,
+                "training diverged at epoch {epoch} after {recoveries} recovery attempts"
+            ),
+            QdgnnError::NonFinite(what) => write!(f, "non-finite value in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QdgnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QdgnnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for QdgnnError {
+    fn from(e: io::Error) -> Self {
+        // Decoding layers below us (e.g. UTF-8 readers) tag corruption as
+        // InvalidData; preserve that classification.
+        if e.kind() == io::ErrorKind::InvalidData {
+            QdgnnError::InvalidData(e.to_string())
+        } else {
+            QdgnnError::Io(e)
+        }
+    }
+}
+
+impl From<QdgnnError> for io::Error {
+    fn from(e: QdgnnError) -> Self {
+        match e {
+            QdgnnError::Io(io) => io,
+            other if other.is_bad_input() => {
+                io::Error::new(io::ErrorKind::InvalidData, other.to_string())
+            }
+            other => io::Error::other(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = QdgnnError::VertexOutOfRange { vertex: 99, n: 10 };
+        let msg = e.to_string();
+        assert!(msg.contains("99") && msg.contains("10"), "message must name both: {msg}");
+        assert!(e.is_bad_input());
+        assert!(!QdgnnError::Io(io::Error::other("disk on fire")).is_bad_input());
+    }
+
+    #[test]
+    fn io_round_trip_preserves_invalid_data_kind() {
+        let e = QdgnnError::invalid("truncated file");
+        let io_err: io::Error = e.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        let back: QdgnnError = io_err.into();
+        assert!(matches!(back, QdgnnError::InvalidData(_)));
+    }
+}

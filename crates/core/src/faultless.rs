@@ -1,0 +1,107 @@
+//! Fault-injection harness for chaos testing (compiled only with the
+//! `chaos` feature; never enable it in production builds).
+//!
+//! The harness drives three failure classes the robustness layer must
+//! absorb:
+//!
+//! * **poisoned optimizer steps** — [`inject_at_step`] arms a
+//!   [`GradFault`] that the training loop applies to the reduced gradient
+//!   batch at a chosen step attempt, exercising the NaN/Inf skip guard
+//!   and the divergence-rollback path in `run_training`;
+//! * **damaged model/checkpoint files** — [`corrupt_file_line`] and
+//!   [`truncate_file_at_line`] mangle persisted artifacts at any line,
+//!   exercising the `InvalidData` rejection paths of `load_model` and
+//!   `Trainer::resume_from`;
+//! * **malformed queries** — [`out_of_range_query`] builds queries whose
+//!   ids cannot belong to the served graph, exercising
+//!   `OnlineStage::try_query` validation.
+//!
+//! Step attempts are counted monotonically across divergence rollbacks
+//! (the counter never rewinds), so a fault armed for step `s` fires at
+//! most once. Faults are one-shot: firing removes them from the registry.
+//!
+//! The registry is process-global; chaos tests that train concurrently
+//! must serialize on their own lock.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+use qdgnn_data::Query;
+use qdgnn_tensor::GradStore;
+
+/// A gradient fault to apply to one optimizer step attempt.
+#[derive(Clone, Copy, Debug)]
+pub enum GradFault {
+    /// Replaces every accumulated gradient value with NaN — must be
+    /// caught by the per-step finite guard (the step is skipped).
+    NanGrads,
+    /// Scales gradients by a huge factor — with clipping disabled this
+    /// wrecks the weights and must trigger divergence rollback.
+    ExplodeGrads(f32),
+}
+
+fn registry() -> &'static Mutex<HashMap<u64, GradFault>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, GradFault>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `fault` to fire at optimizer step attempt `step` (1-based).
+pub fn inject_at_step(step: u64, fault: GradFault) {
+    registry().lock().unwrap().insert(step, fault);
+}
+
+/// Arms `fault` for every step attempt in `steps`.
+pub fn inject_at_steps(steps: impl IntoIterator<Item = u64>, fault: GradFault) {
+    let mut reg = registry().lock().unwrap();
+    for s in steps {
+        reg.insert(s, fault);
+    }
+}
+
+/// Disarms every pending fault.
+pub fn clear() {
+    registry().lock().unwrap().clear();
+}
+
+/// Number of faults still armed (fired faults are removed).
+pub fn pending() -> usize {
+    registry().lock().unwrap().len()
+}
+
+/// Training-loop hook: applies (and consumes) the fault armed for `step`,
+/// if any.
+pub(crate) fn mutate_gradients(step: u64, grads: &mut GradStore) {
+    let fault = registry().lock().unwrap().remove(&step);
+    match fault {
+        None => {}
+        Some(GradFault::NanGrads) => grads.scale(f32::NAN),
+        Some(GradFault::ExplodeGrads(k)) => grads.scale(k),
+    }
+}
+
+/// Overwrites 0-based `line_no` of a text file with non-parsable garbage.
+pub fn corrupt_file_line(path: impl AsRef<Path>, line_no: usize) -> io::Result<()> {
+    let content = std::fs::read_to_string(&path)?;
+    let mangled: String = content
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == line_no { "@@ chaos @@\n".to_string() } else { format!("{l}\n") })
+        .collect();
+    std::fs::write(&path, mangled)
+}
+
+/// Truncates a text file to its first `keep_lines` lines.
+pub fn truncate_file_at_line(path: impl AsRef<Path>, keep_lines: usize) -> io::Result<()> {
+    let content = std::fs::read_to_string(&path)?;
+    let truncated: String =
+        content.lines().take(keep_lines).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&path, truncated)
+}
+
+/// A query whose vertex and attribute ids are guaranteed out of range for
+/// a graph with `n` vertices and `d` attributes.
+pub fn out_of_range_query(n: usize, d: usize) -> Query {
+    Query { vertices: vec![n as u32 + 1], attrs: vec![d as u32 + 1], truth: vec![] }
+}

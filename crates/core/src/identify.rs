@@ -3,6 +3,7 @@
 
 use qdgnn_graph::{traversal, VertexId};
 
+use crate::error::QdgnnError;
 use crate::inputs::GraphTensors;
 
 /// Converts per-vertex scores into a community via the paper's
@@ -21,6 +22,28 @@ pub fn identify_community(
 ) -> Vec<VertexId> {
     let graph = if attributed { &tensors.fusion } else { &tensors.graph };
     traversal::constrained_bfs(graph, query_vertices, scores, gamma)
+}
+
+/// Validating variant of [`identify_community`] for untrusted input:
+/// checks every query vertex against the graph and the score vector
+/// against the vertex count before traversing.
+pub fn try_identify_community(
+    tensors: &GraphTensors,
+    query_vertices: &[VertexId],
+    scores: &[f32],
+    gamma: f32,
+    attributed: bool,
+) -> Result<Vec<VertexId>, QdgnnError> {
+    if query_vertices.is_empty() {
+        return Err(QdgnnError::EmptyQuery);
+    }
+    if let Some(&v) = query_vertices.iter().find(|&&v| (v as usize) >= tensors.n) {
+        return Err(QdgnnError::VertexOutOfRange { vertex: v, n: tensors.n });
+    }
+    if scores.len() != tensors.n {
+        return Err(QdgnnError::ScoreLengthMismatch { expected: tensors.n, got: scores.len() });
+    }
+    Ok(identify_community(tensors, query_vertices, scores, gamma, attributed))
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@ use qdgnn_graph::attributed::{adjacency_matrix, AdjNorm, AttrId};
 use qdgnn_graph::{AttributedGraph, Graph, VertexId};
 use qdgnn_tensor::{Csr, Dense};
 
+use crate::error::QdgnnError;
+
 /// Query-independent tensors for one attributed graph.
 #[derive(Clone)]
 pub struct GraphTensors {
@@ -75,22 +77,48 @@ pub struct QueryVectors {
 
 impl QueryVectors {
     /// Encodes a query against a graph with `n` vertices and `d`
-    /// attributes.
+    /// attributes, validating every id against the graph's dimensions.
     ///
-    /// # Panics
-    /// Panics if a query vertex or attribute is out of range.
-    pub fn encode(n: usize, d: usize, vertices: &[VertexId], attrs: &[AttrId]) -> Self {
+    /// This is the serving-path entry point: malformed queries surface as
+    /// typed errors, never as panics.
+    pub fn try_encode(
+        n: usize,
+        d: usize,
+        vertices: &[VertexId],
+        attrs: &[AttrId],
+    ) -> Result<Self, QdgnnError> {
+        if vertices.is_empty() {
+            return Err(QdgnnError::EmptyQuery);
+        }
         let mut v = Dense::zeros(n, 1);
         for &q in vertices {
-            assert!((q as usize) < n, "query vertex {q} out of range");
+            if (q as usize) >= n {
+                return Err(QdgnnError::VertexOutOfRange { vertex: q, n });
+            }
             v.set(q as usize, 0, 1.0);
         }
         let mut f = Dense::zeros(d, 1);
         for &a in attrs {
-            assert!((a as usize) < d, "query attribute {a} out of range");
+            if (a as usize) >= d {
+                return Err(QdgnnError::AttrOutOfRange { attr: a, d });
+            }
             f.set(a as usize, 0, 1.0);
         }
-        QueryVectors { vertex_onehot: v, attr_onehot: f }
+        Ok(QueryVectors { vertex_onehot: v, attr_onehot: f })
+    }
+
+    /// Encodes a trusted query (training data whose ids were produced
+    /// against this graph). See [`QueryVectors::try_encode`] for the
+    /// validating variant.
+    ///
+    /// # Panics
+    /// Panics if a query vertex or attribute is out of range, or the
+    /// query is empty.
+    pub fn encode(n: usize, d: usize, vertices: &[VertexId], attrs: &[AttrId]) -> Self {
+        match Self::try_encode(n, d, vertices, attrs) {
+            Ok(qv) => qv,
+            Err(e) => panic!("invalid training query: {e}"),
+        }
     }
 
     /// Whether the query carries attributes.

@@ -20,6 +20,9 @@
 //!   pluggable embedding models.
 
 pub mod config;
+pub mod error;
+#[cfg(feature = "chaos")]
+pub mod faultless;
 pub mod identify;
 pub mod inputs;
 pub mod interactive;
@@ -30,7 +33,8 @@ pub mod subgraph;
 pub mod train;
 
 pub use config::{FusionAgg, ModelConfig};
-pub use identify::identify_community;
+pub use error::QdgnnError;
+pub use identify::{identify_community, try_identify_community};
 pub use inputs::{GraphTensors, QueryVectors};
 pub use models::{AqdGnn, CsModel, ForwardResult, GraphCache, QdGnn, SimpleQdGnn};
 pub use serve::OnlineStage;

@@ -50,6 +50,23 @@ pub struct Checkpoint {
     bn_running: Vec<(Dense, Dense)>,
 }
 
+impl Checkpoint {
+    /// The snapshotted parameter matrices, in store order.
+    pub fn params(&self) -> &[Dense] {
+        &self.params
+    }
+
+    /// The snapshotted batch-norm `(running_mean, running_var)` pairs.
+    pub fn bn_running(&self) -> &[(Dense, Dense)] {
+        &self.bn_running
+    }
+
+    /// Rebuilds a checkpoint from its parts (checkpoint-file loading).
+    pub fn from_parts(params: Vec<Dense>, bn_running: Vec<(Dense, Dense)>) -> Self {
+        Checkpoint { params, bn_running }
+    }
+}
+
 /// Common interface of [`SimpleQdGnn`], [`QdGnn`] and [`AqdGnn`].
 ///
 /// Models are `Send + Sync`: forward passes borrow the model immutably,

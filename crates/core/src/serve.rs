@@ -9,10 +9,10 @@
 use qdgnn_data::Query;
 use qdgnn_graph::{CommunityMetrics, VertexId};
 
+use crate::error::QdgnnError;
 use crate::identify::identify_community;
-use crate::inputs::GraphTensors;
+use crate::inputs::{GraphTensors, QueryVectors};
 use crate::models::{predict_scores, predict_scores_cached, CsModel, GraphCache};
-use crate::train::encode_query;
 
 /// A ready-to-serve community-search endpoint.
 pub struct OnlineStage<'a> {
@@ -41,20 +41,56 @@ impl<'a> OnlineStage<'a> {
     }
 
     /// Per-vertex community scores `h_q` for one query.
+    ///
+    /// # Panics
+    /// Panics on malformed queries; serve untrusted input through
+    /// [`OnlineStage::try_scores`] instead.
     pub fn scores(&self, query: &Query) -> Vec<f32> {
-        let qv = encode_query(self.model, self.tensors, query);
-        match &self.cache {
+        match self.try_scores(query) {
+            Ok(scores) => scores,
+            Err(e) => panic!("invalid query: {e}"),
+        }
+    }
+
+    /// Validating variant of [`OnlineStage::scores`]: checks every query
+    /// vertex and attribute against the served graph's dimensions and
+    /// returns a typed error instead of aborting. This is the entry point
+    /// for untrusted (user-supplied) queries.
+    pub fn try_scores(&self, query: &Query) -> Result<Vec<f32>, QdgnnError> {
+        // Validate all attributes, including ones a non-attributed model
+        // would drop (EmA semantics): an out-of-range id means the query
+        // was built against a different graph, which should not pass
+        // silently.
+        if let Some(&a) = query.attrs.iter().find(|&&a| (a as usize) >= self.tensors.d) {
+            return Err(QdgnnError::AttrOutOfRange { attr: a, d: self.tensors.d });
+        }
+        let attrs: &[u32] = if self.model.uses_attributes() { &query.attrs } else { &[] };
+        let qv = QueryVectors::try_encode(self.tensors.n, self.tensors.d, &query.vertices, attrs)?;
+        Ok(match &self.cache {
             Some(cache) => predict_scores_cached(self.model, self.tensors, cache, &qv),
             None => predict_scores(self.model, self.tensors, &qv),
-        }
+        })
     }
 
     /// Full online answer: inference plus constrained BFS (Algorithm 1,
     /// on the fusion graph for attributed queries).
+    ///
+    /// # Panics
+    /// Panics on malformed queries; serve untrusted input through
+    /// [`OnlineStage::try_query`] instead.
     pub fn query(&self, query: &Query) -> Vec<VertexId> {
-        let scores = self.scores(query);
+        match self.try_query(query) {
+            Ok(community) => community,
+            Err(e) => panic!("invalid query: {e}"),
+        }
+    }
+
+    /// Validating variant of [`OnlineStage::query`] for untrusted input:
+    /// malformed queries surface as [`QdgnnError`] values, never panics.
+    pub fn try_query(&self, query: &Query) -> Result<Vec<VertexId>, QdgnnError> {
+        let scores = self.try_scores(query)?;
         let attributed = self.model.uses_attributes() && !query.attrs.is_empty();
-        identify_community(self.tensors, &query.vertices, &scores, self.gamma, attributed)
+        Ok(identify_community(self.tensors, &query.vertices, &scores, self.gamma, attributed))
     }
 
     /// Evaluates the endpoint over a query set (micro metrics).
@@ -97,6 +133,48 @@ mod tests {
         }
         let m = stage.evaluate(&split.test);
         assert!((0.0..=1.0).contains(&m.f1));
+    }
+
+    #[test]
+    fn try_query_rejects_malformed_queries_without_panicking() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let model = AqdGnn::new(ModelConfig::fast(), t.d);
+        let stage = OnlineStage::new(&model, &t, 0.5);
+        let good = qgen::generate(&data, 1, 1, 1, AttrMode::FromCommunity, 3).remove(0);
+        assert!(stage.try_query(&good).is_ok());
+
+        let bad_vertex = Query { vertices: vec![t.n as u32 + 7], ..good.clone() };
+        assert!(matches!(
+            stage.try_query(&bad_vertex),
+            Err(crate::error::QdgnnError::VertexOutOfRange { .. })
+        ));
+        let bad_attr = Query { attrs: vec![t.d as u32], ..good.clone() };
+        assert!(matches!(
+            stage.try_query(&bad_attr),
+            Err(crate::error::QdgnnError::AttrOutOfRange { .. })
+        ));
+        let empty = Query { vertices: vec![], ..good.clone() };
+        assert!(matches!(stage.try_query(&empty), Err(crate::error::QdgnnError::EmptyQuery)));
+        // The stage must stay serviceable after rejecting bad input.
+        assert!(stage.try_query(&good).is_ok());
+    }
+
+    #[test]
+    fn non_attributed_model_still_validates_attr_ids() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let model = SimpleQdGnn::new(ModelConfig::fast());
+        let stage = OnlineStage::new(&model, &t, 0.5);
+        let q = Query {
+            vertices: vec![0],
+            attrs: vec![t.d as u32 + 1],
+            truth: vec![0],
+        };
+        assert!(matches!(
+            stage.try_query(&q),
+            Err(crate::error::QdgnnError::AttrOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -48,6 +48,18 @@ pub struct TrainConfig {
     pub patience: Option<usize>,
     /// Shuffling / dropout seed.
     pub seed: u64,
+    /// Loss-divergence trigger: an epoch whose mean loss is non-finite or
+    /// exceeds this factor times the best epoch loss so far rolls training
+    /// back to the last good state and halves the learning rate.
+    pub divergence_factor: f32,
+    /// Rollback budget: once exhausted, training stops early with the best
+    /// weights found so far and [`TrainReport::diverged`] set.
+    pub max_recoveries: usize,
+    /// Crash-resume checkpoint file, written atomically during training
+    /// (`None` disables; see [`Trainer::resume_from`]).
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Write the crash-resume checkpoint every this many epochs.
+    pub checkpoint_every: usize,
 }
 
 impl Default for TrainConfig {
@@ -62,6 +74,10 @@ impl Default for TrainConfig {
             clip: Some(5.0),
             patience: None,
             seed: 0xABCD,
+            divergence_factor: 4.0,
+            max_recoveries: 3,
+            checkpoint_path: None,
+            checkpoint_every: 10,
         }
     }
 }
@@ -99,6 +115,15 @@ pub struct TrainReport {
     pub val_history: Vec<(usize, f64)>,
     /// Wall-clock training time in seconds.
     pub train_seconds: f64,
+    /// Optimizer steps skipped because the batch loss or gradients were
+    /// non-finite (each skip protects the Adam moments from poisoning).
+    pub skipped_steps: usize,
+    /// Divergence rollbacks performed (each halves the learning rate).
+    pub recoveries: usize,
+    /// Whether training stopped early because the rollback budget
+    /// ([`TrainConfig::max_recoveries`]) was exhausted. The returned
+    /// weights are still the best observed on validation.
+    pub diverged: bool,
 }
 
 /// A trained model bundled with its selected threshold.
@@ -138,14 +163,74 @@ impl TrainItem {
     }
 }
 
+/// Mutable training state that survives a crash: everything
+/// [`run_training`] needs to continue a run exactly where a checkpoint
+/// left it (see [`crate::persist::save_train_checkpoint`]).
+pub(crate) struct ResumeState {
+    /// Epochs already completed (the next epoch to run).
+    pub epochs_done: usize,
+    /// Learning rate at checkpoint time (may have been halved by
+    /// divergence recovery).
+    pub lr: f32,
+    /// Optimizer moments and step counter.
+    pub adam: qdgnn_tensor::AdamState,
+    /// Divergence rollbacks performed so far.
+    pub recoveries: usize,
+    /// Non-finite steps skipped so far.
+    pub skipped_steps: usize,
+    /// Consecutive stale validations (early-stopping state).
+    pub stale_validations: usize,
+    /// Mean loss per completed epoch.
+    pub loss_history: Vec<f32>,
+    /// `(epoch, F1)` per completed validation.
+    pub val_history: Vec<(usize, f64)>,
+    /// Best `(F1, γ, weights)` observed on validation.
+    pub best: (f64, f32, Option<crate::models::Checkpoint>),
+}
+
+/// Deterministic per-epoch batch order. Reseeding from
+/// `(seed, epoch, recoveries)` instead of threading one RNG through the
+/// whole run makes the order reproducible from a checkpoint: a resumed
+/// run visits the remaining epochs in exactly the order the uninterrupted
+/// run would have.
+fn epoch_order(len: usize, seed: u64, epoch: usize, recoveries: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (epoch as u64 ^ ((recoveries as u64) << 48)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    order.shuffle(&mut rng);
+    order
+}
+
 /// The generic training loop shared by [`Trainer`] and the subgraph
 /// trainer: mini-batch Adam over `items`, with `validate` called
 /// periodically to produce `(γ, F1)` for checkpoint selection.
+///
+/// Fault tolerance (all bounded, all reported in [`TrainReport`]):
+/// * a batch whose loss or reduced gradients are non-finite is skipped,
+///   protecting the parameters and Adam moments;
+/// * an epoch whose mean loss is non-finite or explodes past
+///   [`TrainConfig::divergence_factor`] × the best epoch loss rolls the
+///   model and optimizer back to the last good epoch and halves the
+///   learning rate, up to [`TrainConfig::max_recoveries`] times;
+/// * when [`TrainConfig::checkpoint_path`] is set, the full training
+///   state is written (atomically) every
+///   [`TrainConfig::checkpoint_every`] epochs for crash-resume.
 pub(crate) fn run_training<M: CsModel>(
+    model: M,
+    items: &[TrainItem],
+    cfg: &TrainConfig,
+    validate: impl FnMut(&M) -> Option<(f32, f64)>,
+) -> TrainedModel<M> {
+    run_training_from(model, items, cfg, validate, None)
+}
+
+pub(crate) fn run_training_from<M: CsModel>(
     mut model: M,
     items: &[TrainItem],
     cfg: &TrainConfig,
     mut validate: impl FnMut(&M) -> Option<(f32, f64)>,
+    resume: Option<ResumeState>,
 ) -> TrainedModel<M> {
     assert!(!items.is_empty(), "training set must be non-empty");
     let start = Instant::now();
@@ -156,18 +241,50 @@ pub(crate) fn run_training<M: CsModel>(
     };
 
     let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() }, model.store());
-    let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed);
-    let mut order: Vec<usize> = (0..items.len()).collect();
-    let mut loss_history = Vec::with_capacity(cfg.epochs);
-    let mut val_history: Vec<(usize, f64)> = Vec::new();
-    let mut best: (f64, f32, Option<crate::models::Checkpoint>) = (-1.0, 0.5, None);
-    let mut stale_validations = 0usize;
-    let mut epochs_run = 0usize;
+    let start_epoch;
+    let mut loss_history;
+    let mut val_history: Vec<(usize, f64)>;
+    let mut best: (f64, f32, Option<crate::models::Checkpoint>);
+    let mut stale_validations;
+    let mut recoveries;
+    let mut skipped_steps;
+    match resume {
+        Some(state) => {
+            start_epoch = state.epochs_done;
+            opt.restore_state(state.adam);
+            opt.set_lr(state.lr);
+            loss_history = state.loss_history;
+            val_history = state.val_history;
+            best = state.best;
+            stale_validations = state.stale_validations;
+            recoveries = state.recoveries;
+            skipped_steps = state.skipped_steps;
+        }
+        None => {
+            start_epoch = 0;
+            loss_history = Vec::with_capacity(cfg.epochs);
+            val_history = Vec::new();
+            best = (-1.0, 0.5, None);
+            stale_validations = 0;
+            recoveries = 0;
+            skipped_steps = 0;
+        }
+    }
+    let mut epochs_run = start_epoch;
+    let mut diverged = false;
+    // Last known-good state for divergence rollback; starts at the
+    // initial (or resumed) state so even an epoch-0 explosion recovers.
+    let mut good = (model.checkpoint(), opt.state());
+    // Monotonic optimizer-step-attempt counter (never rewinds on
+    // rollback) — the fault-injection harness keys on it.
+    #[cfg(feature = "chaos")]
+    let mut step_attempts: u64 = 0;
 
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
         epochs_run = epoch + 1;
-        order.shuffle(&mut shuffle_rng);
+        let order = epoch_order(items.len(), cfg.seed, epoch, recoveries);
         let mut epoch_loss = 0.0f64;
+        let mut counted = 0usize;
         for (batch_no, batch) in order.chunks(cfg.batch_size).enumerate() {
             let results: Mutex<Vec<(usize, WorkerResult)>> =
                 Mutex::new(Vec::with_capacity(batch.len()));
@@ -198,19 +315,54 @@ pub(crate) fn run_training<M: CsModel>(
 
             let mut grads = GradStore::for_store(model.store());
             let mut all_stats = Vec::new();
+            let mut batch_loss = 0.0f64;
             for (_, wr) in results {
-                epoch_loss += wr.loss as f64;
+                batch_loss += wr.loss as f64;
                 grads.merge(wr.grads);
                 all_stats.extend(wr.bn_stats);
             }
             grads.scale(1.0 / batch.len() as f32);
+            #[cfg(feature = "chaos")]
+            {
+                step_attempts += 1;
+                crate::faultless::mutate_gradients(step_attempts, &mut grads);
+            }
+            // NaN/Inf guard: one poisoned step would corrupt the Adam
+            // moments for good, so drop it instead of applying it.
+            if !batch_loss.is_finite() || !grads.all_finite() {
+                skipped_steps += 1;
+                continue;
+            }
             if let Some(max_norm) = cfg.clip {
                 grads.clip_global_norm(max_norm);
             }
             opt.step(model.store_mut(), &grads);
             model.apply_bn_stats(&all_stats);
+            epoch_loss += batch_loss;
+            counted += batch.len();
         }
-        loss_history.push((epoch_loss / items.len() as f64) as f32);
+        let reference = loss_history.iter().copied().filter(|l| l.is_finite()).reduce(f32::min);
+        let mean =
+            if counted > 0 { (epoch_loss / counted as f64) as f32 } else { f32::NAN };
+        loss_history.push(mean);
+
+        // Divergence detection: roll back to the last good epoch with a
+        // halved learning rate rather than letting a blown-up run burn
+        // the remaining epochs.
+        let exploded = !mean.is_finite()
+            || reference.is_some_and(|r| mean > cfg.divergence_factor * r.max(0.1));
+        if exploded {
+            recoveries += 1;
+            if recoveries > cfg.max_recoveries {
+                diverged = true;
+                break;
+            }
+            model.restore(&good.0);
+            opt.restore_state(good.1.clone());
+            opt.set_lr(opt.lr() * 0.5);
+            continue;
+        }
+        good = (model.checkpoint(), opt.state());
 
         let is_last = epoch + 1 == cfg.epochs;
         if is_last || (epoch + 1) % cfg.validate_every == 0 {
@@ -227,6 +379,27 @@ pub(crate) fn run_training<M: CsModel>(
                 }
             }
         }
+
+        if let Some(path) = &cfg.checkpoint_path {
+            if cfg.checkpoint_every > 0 && (epoch + 1) % cfg.checkpoint_every == 0 {
+                let state = ResumeState {
+                    epochs_done: epoch + 1,
+                    lr: opt.lr(),
+                    adam: opt.state(),
+                    recoveries,
+                    skipped_steps,
+                    stale_validations,
+                    loss_history: loss_history.clone(),
+                    val_history: val_history.clone(),
+                    best: (best.0, best.1, best.2.clone()),
+                };
+                // A failed checkpoint write must not kill training — the
+                // run is still making progress in memory.
+                if let Err(e) = crate::persist::save_train_checkpoint(path, &model, &state) {
+                    eprintln!("warning: checkpoint write to {} failed: {e}", path.display());
+                }
+            }
+        }
     }
 
     if let Some(ckpt) = &best.2 {
@@ -239,6 +412,9 @@ pub(crate) fn run_training<M: CsModel>(
         loss_history,
         val_history,
         train_seconds: start.elapsed().as_secs_f64(),
+        skipped_steps,
+        recoveries,
+        diverged,
     };
     TrainedModel { model, gamma: best.1, report }
 }
@@ -278,6 +454,48 @@ impl Trainer {
                 Some(select_gamma(m, tensors, val, &gamma_grid))
             }
         })
+    }
+
+    /// Continues a crashed or killed training run from the checkpoint a
+    /// previous run wrote via [`TrainConfig::checkpoint_path`]. `model`
+    /// must be freshly constructed with the same configuration and graph
+    /// dimensions; its weights are replaced by the checkpoint's in-flight
+    /// weights before the remaining epochs run.
+    ///
+    /// Batch order and dropout streams are derived statelessly from
+    /// `(seed, epoch)`, and the checkpoint carries the optimizer moments,
+    /// histories and best-on-validation snapshot — so a resumed run
+    /// replays the remaining epochs exactly as the uninterrupted run
+    /// would have, ending in the same final weight/γ selection.
+    ///
+    /// # Errors
+    /// Returns [`crate::error::QdgnnError::InvalidData`] if the
+    /// checkpoint is corrupt, truncated, or does not match `model`.
+    pub fn resume_from<M: CsModel>(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        mut model: M,
+        tensors: &GraphTensors,
+        train: &[Query],
+        val: &[Query],
+    ) -> crate::error::Result<TrainedModel<M>> {
+        let state = crate::persist::load_train_checkpoint(path, &mut model)?;
+        let items: Vec<TrainItem> =
+            train.iter().map(|q| TrainItem::prepare(&model, tensors, q)).collect();
+        let gamma_grid = self.config.gamma_grid.clone();
+        Ok(run_training_from(
+            model,
+            &items,
+            &self.config,
+            |m| {
+                if val.is_empty() {
+                    None
+                } else {
+                    Some(select_gamma(m, tensors, val, &gamma_grid))
+                }
+            },
+            Some(state),
+        ))
     }
 
     /// The model-update mechanism sketched in the paper's conclusion: as

@@ -27,7 +27,7 @@ pub mod sparse;
 pub mod tape;
 
 pub use dense::Dense;
-pub use optim::{Adam, AdamConfig, Sgd};
+pub use optim::{Adam, AdamConfig, AdamState, Sgd};
 pub use param::{GradStore, ParamId, ParamStore};
 pub use sparse::Csr;
 pub use tape::{Tape, Var};

@@ -58,6 +58,20 @@ pub struct Adam {
     v: Vec<Dense>,
 }
 
+/// A deep copy of an [`Adam`] optimizer's mutable state, captured for
+/// crash-resume checkpoints and divergence rollback. Restoring it makes
+/// the optimizer continue exactly as if the intervening steps never
+/// happened.
+#[derive(Clone, Debug)]
+pub struct AdamState {
+    /// Steps taken when the state was captured.
+    pub step: u64,
+    /// First-moment buffers, one per parameter.
+    pub m: Vec<Dense>,
+    /// Second-moment buffers, one per parameter.
+    pub v: Vec<Dense>,
+}
+
 impl Adam {
     /// Creates an Adam optimizer with moment buffers matching `params`.
     pub fn new(config: AdamConfig, params: &ParamStore) -> Self {
@@ -74,6 +88,41 @@ impl Adam {
     /// Current configuration.
     pub fn config(&self) -> &AdamConfig {
         &self.config
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.config.lr
+    }
+
+    /// Changes the learning rate (divergence recovery halves it; schedules
+    /// may decay it).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    /// Deep-copies the optimizer state (step counter + moment buffers)
+    /// for checkpointing and divergence rollback.
+    pub fn state(&self) -> AdamState {
+        AdamState { step: self.step, m: self.m.clone(), v: self.v.clone() }
+    }
+
+    /// Restores state captured by [`Adam::state`].
+    ///
+    /// # Panics
+    /// Panics if the state's moment buffers do not match this optimizer's
+    /// parameter layout.
+    pub fn restore_state(&mut self, state: AdamState) {
+        assert_eq!(state.m.len(), self.m.len(), "adam state layout mismatch");
+        for ((m, v), (sm, sv)) in
+            self.m.iter().zip(&self.v).zip(state.m.iter().zip(&state.v))
+        {
+            assert_eq!(m.shape(), sm.shape(), "adam moment shape mismatch");
+            assert_eq!(v.shape(), sv.shape(), "adam moment shape mismatch");
+        }
+        self.step = state.step;
+        self.m = state.m;
+        self.v = state.v;
     }
 
     /// Applies one Adam update using the accumulated `grads`.

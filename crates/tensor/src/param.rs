@@ -176,6 +176,16 @@ impl GradStore {
         self.grads.get(id.index()).and_then(|g| g.as_ref())
     }
 
+    /// Whether every accumulated gradient value is finite. A single
+    /// NaN/Inf entry would poison the Adam moment buffers permanently,
+    /// so trainers check this before applying a step.
+    pub fn all_finite(&self) -> bool {
+        self.grads
+            .iter()
+            .flatten()
+            .all(|g| g.as_slice().iter().all(|v| v.is_finite()))
+    }
+
     /// Global L2 norm over all accumulated gradients.
     pub fn global_norm(&self) -> f32 {
         self.grads.iter().flatten().map(Dense::frob_sq).sum::<f32>().sqrt()

@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "stats" => cmd_stats(&opts),
         "train" => cmd_train(&opts),
+        "resume" => cmd_resume(&opts),
         "query" => cmd_query(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "help" | "--help" | "-h" => {
@@ -64,7 +65,11 @@ USAGE:
                  --count N --seed N]
   qdgnn stats    --data FILE
   qdgnn train    --data FILE --queries FILE --model simple|qd|aqd --out FILE
-                 [--epochs N --hidden N --layers N --split T,V,S --seed N]
+                 [--epochs N --hidden N --layers N --split T,V,S --seed N
+                  --checkpoint FILE --checkpoint-every N]
+  qdgnn resume   --data FILE --queries FILE --model simple|qd|aqd --out FILE
+                 --checkpoint FILE [--epochs N --hidden N --layers N
+                  --split T,V,S --seed N --checkpoint-every N]
   qdgnn query    --data FILE --model-file FILE --model simple|qd|aqd
                  --vertices a,b[,c] [--attrs x,y --gamma G --hidden N --layers N]
   qdgnn evaluate --data FILE --queries FILE --model-file FILE
@@ -217,7 +222,17 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(opts: &Options) -> Result<(), String> {
+/// Everything `train` and `resume` share: dataset, split, tensors, a
+/// freshly built model and the training configuration.
+struct TrainSetup {
+    data: Dataset,
+    split: QuerySplit,
+    tensors: GraphTensors,
+    model: Box<dyn CsModel>,
+    tc: TrainConfig,
+}
+
+fn train_setup(opts: &Options) -> Result<TrainSetup, String> {
     let data = io::load_dataset(opts.required("data")?).map_err(|e| e.to_string())?;
     let queries = io::load_queries(opts.required("queries")?).map_err(|e| e.to_string())?;
     let (train, val, test) = split_spec(opts, queries.len())?;
@@ -225,13 +240,51 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     let config = model_config(opts)?;
     let tensors =
         GraphTensors::new(&data.graph, config.adj_norm, config.fusion_graph_attr_cap);
-    let kind = opts.required("model")?;
-    let model = build_model(kind, config, tensors.d)?;
+    let model = build_model(opts.required("model")?, config, tensors.d)?;
     let tc = TrainConfig {
         epochs: opts.parse_or("epochs", 100usize)?,
         seed: opts.parse_or("seed", 1u64)?,
+        checkpoint_path: opts.get("checkpoint").map(std::path::PathBuf::from),
+        checkpoint_every: opts.parse_or("checkpoint-every", 10usize)?,
         ..TrainConfig::default()
     };
+    Ok(TrainSetup { data, split, tensors, model, tc })
+}
+
+fn finish_training(
+    opts: &Options,
+    tensors: &GraphTensors,
+    test: &[Query],
+    trained: TrainedModel<Box<dyn CsModel>>,
+) -> Result<(), String> {
+    if trained.report.diverged {
+        eprintln!(
+            "warning: training diverged after {} rollbacks; keeping the best weights seen",
+            trained.report.recoveries
+        );
+    } else if trained.report.recoveries > 0 || trained.report.skipped_steps > 0 {
+        eprintln!(
+            "note: recovered from {} divergence rollback(s), skipped {} non-finite step(s)",
+            trained.report.recoveries, trained.report.skipped_steps
+        );
+    }
+    println!(
+        "done in {:.1}s — best validation F1 {:.3}, γ = {:.2}",
+        trained.report.train_seconds, trained.report.best_val_f1, trained.gamma
+    );
+    let out = opts.required("out")?;
+    save_model(out, trained.model.as_ref(), trained.gamma).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    let metrics = evaluate(trained.model.as_ref(), tensors, test, trained.gamma);
+    println!(
+        "held-out test: precision {:.3}  recall {:.3}  F1 {:.3}",
+        metrics.precision, metrics.recall, metrics.f1
+    );
+    Ok(())
+}
+
+fn cmd_train(opts: &Options) -> Result<(), String> {
+    let TrainSetup { data, split, tensors, model, tc } = train_setup(opts)?;
     println!(
         "training {} on {} ({} train / {} val queries, {} epochs)…",
         model.name(),
@@ -241,19 +294,22 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
         tc.epochs
     );
     let trained = Trainer::new(tc).train(model, &tensors, &split.train, &split.val);
+    finish_training(opts, &tensors, &split.test, trained)
+}
+
+fn cmd_resume(opts: &Options) -> Result<(), String> {
+    let TrainSetup { data, split, tensors, model, tc } = train_setup(opts)?;
+    let ckpt = opts.required("checkpoint")?;
     println!(
-        "done in {:.1}s — best validation F1 {:.3}, γ = {:.2}",
-        trained.report.train_seconds, trained.report.best_val_f1, trained.gamma
+        "resuming {} on {} from {ckpt} (target: {} epochs)…",
+        model.name(),
+        data.name,
+        tc.epochs
     );
-    let out = opts.required("out")?;
-    save_model(out, trained.model.as_ref(), trained.gamma).map_err(|e| e.to_string())?;
-    println!("wrote {out}");
-    let metrics = evaluate(trained.model.as_ref(), &tensors, &split.test, trained.gamma);
-    println!(
-        "held-out test: precision {:.3}  recall {:.3}  F1 {:.3}",
-        metrics.precision, metrics.recall, metrics.f1
-    );
-    Ok(())
+    let trained = Trainer::new(tc)
+        .resume_from(ckpt, model, &tensors, &split.train, &split.val)
+        .map_err(|e| format!("resuming from {ckpt}: {e}"))?;
+    finish_training(opts, &tensors, &split.test, trained)
 }
 
 fn load_trained(
@@ -279,8 +335,12 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     }
     let attrs = opts.list("attrs")?;
     let query = Query { vertices, attrs, truth: vec![] };
+    // Serve through the validating path: a vertex or attribute id outside
+    // the graph is a user error that must exit non-zero with a message,
+    // not a panic.
+    let stage = OnlineStage::new(model.as_ref(), &tensors, gamma);
     let t0 = std::time::Instant::now();
-    let community = predict_community(model.as_ref(), &tensors, &query, gamma);
+    let community = stage.try_query(&query).map_err(|e| format!("invalid query: {e}"))?;
     println!(
         "community of {} vertices (γ={gamma:.2}, {:.2} ms):",
         community.len(),

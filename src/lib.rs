@@ -60,7 +60,8 @@ pub use qdgnn_tensor as tensor;
 pub mod prelude {
     pub use qdgnn_baselines::{Acq, Atc, CommunityMethod, Ctc, IcsGnn, KClique, KEcc};
     pub use qdgnn_core::config::{FusionAgg, ModelConfig};
-    pub use qdgnn_core::identify::identify_community;
+    pub use qdgnn_core::error::QdgnnError;
+    pub use qdgnn_core::identify::{identify_community, try_identify_community};
     pub use qdgnn_core::inputs::{GraphTensors, QueryVectors};
     pub use qdgnn_core::interactive::{
         run_interactive, InteractiveConfig, ModelScorer, SubgraphScorer,
@@ -72,7 +73,8 @@ pub mod prelude {
     pub use qdgnn_core::serve::OnlineStage;
     pub use qdgnn_core::subgraph::{SubgraphConfig, SubgraphTrainer};
     pub use qdgnn_core::train::{
-        evaluate, predict_communities, predict_community, select_gamma, TrainConfig, Trainer,
+        evaluate, predict_communities, predict_community, select_gamma, TrainConfig,
+        TrainReport, TrainedModel, Trainer,
     };
     pub use qdgnn_data::{AttrMode, Dataset, GeneratorConfig, Query, QuerySplit};
     pub use qdgnn_graph::{AttributedGraph, CommunityMetrics, Graph, VertexId};

@@ -1,0 +1,81 @@
+//! Crash-resume integration: a checkpointed run killed part-way and
+//! resumed with `Trainer::resume_from` must reproduce the uninterrupted
+//! run exactly — same loss history, same validation history, same final
+//! weights, same selected γ.
+
+use qdgnn::prelude::*;
+
+#[test]
+fn resume_from_checkpoint_matches_uninterrupted_run() {
+    let data = qdgnn::data::presets::toy();
+    let config = ModelConfig::fast();
+    let tensors =
+        GraphTensors::new(&data.graph, config.adj_norm, config.fusion_graph_attr_cap);
+    let queries = qdgnn::data::queries::generate(&data, 40, 1, 2, AttrMode::Empty, 13);
+    let split = QuerySplit::new(queries, 20, 10, 10);
+
+    let dir = std::env::temp_dir().join("qdgnn_fault_tolerance_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("run.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let base = TrainConfig {
+        epochs: 10,
+        validate_every: 5,
+        threads: 1,
+        gamma_grid: vec![0.3, 0.5, 0.7],
+        ..TrainConfig::default()
+    };
+
+    // Reference: one uninterrupted 10-epoch run.
+    let full = Trainer::new(base.clone()).train(
+        QdGnn::new(config.clone(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    assert_eq!(full.report.skipped_steps, 0, "clean run must not skip steps");
+    assert_eq!(full.report.recoveries, 0, "clean run must not roll back");
+    assert!(!full.report.diverged);
+
+    // "Killed" run: the process dies after epoch 5; all that survives is
+    // the checkpoint written at epoch 5.
+    let killed_cfg = TrainConfig {
+        epochs: 5,
+        checkpoint_path: Some(ckpt.clone()),
+        checkpoint_every: 5,
+        ..base.clone()
+    };
+    Trainer::new(killed_cfg).train(
+        QdGnn::new(config.clone(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    assert!(ckpt.exists(), "checkpoint must have been written at epoch 5");
+
+    // Resume the remaining epochs from disk into a fresh model.
+    let resumed = Trainer::new(base)
+        .resume_from(&ckpt, QdGnn::new(config.clone(), tensors.d), &tensors, &split.train, &split.val)
+        .expect("valid checkpoint must resume");
+
+    assert_eq!(
+        resumed.report.loss_history, full.report.loss_history,
+        "resumed run must replay the remaining epochs exactly"
+    );
+    assert_eq!(resumed.report.val_history, full.report.val_history);
+    assert_eq!(resumed.gamma, full.gamma, "γ selection must be identical");
+    assert_eq!(resumed.report.best_val_f1, full.report.best_val_f1);
+    let full_weights = full.model.store().snapshot();
+    let resumed_weights = resumed.model.store().snapshot();
+    for (a, b) in full_weights.iter().zip(&resumed_weights) {
+        assert!(a.approx_eq(b, 0.0), "final weights must match bit-for-bit");
+    }
+
+    // A mangled checkpoint is rejected with an error, never a panic.
+    let content = std::fs::read_to_string(&ckpt).unwrap();
+    std::fs::write(&ckpt, &content[..content.len() / 2]).unwrap();
+    assert!(Trainer::new(TrainConfig::default())
+        .resume_from(&ckpt, QdGnn::new(config, tensors.d), &tensors, &split.train, &split.val)
+        .is_err());
+}

@@ -41,6 +41,77 @@ fn query_files_round_trip_through_disk() {
     assert_eq!(io::load_queries(&path).unwrap(), queries);
 }
 
+/// Satellite robustness check: every possible truncation and per-line
+/// corruption of a saved model file must surface as `Err` (never a
+/// panic), must leave the in-memory model untouched and usable, and a
+/// subsequent load of the pristine file must still be bit-identical.
+#[test]
+fn model_file_corruption_sweep_never_panics() {
+    let data = qdgnn::data::presets::toy();
+    let config = ModelConfig { hidden: 8, layers: 2, ..ModelConfig::fast() };
+    let tensors = GraphTensors::new(&data.graph, config.adj_norm, config.fusion_graph_attr_cap);
+    let queries = qdgnn::data::queries::generate(&data, 20, 1, 2, AttrMode::Empty, 5);
+    let split = QuerySplit::new(queries, 10, 5, 5);
+    let trained = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::fast() }).train(
+        SimpleQdGnn::new(config.clone()),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+
+    let dir = std::env::temp_dir().join("qdgnn_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good_path = dir.join("sweep_good.model");
+    save_model(&good_path, &trained.model, trained.gamma).unwrap();
+    let good = std::fs::read_to_string(&good_path).unwrap();
+    let lines: Vec<&str> = good.lines().collect();
+
+    let victim = SimpleQdGnn::new(config.clone());
+    let q = QueryVectors::encode(tensors.n, tensors.d, &[0, 1], &[]);
+    let pristine_scores = predict_scores(&victim, &tensors, &q);
+
+    let bad_path = dir.join("sweep_bad.model");
+    let mut victim = victim;
+    for i in 0..lines.len() {
+        // Variant 1: file truncated after line i.
+        let truncated: String = lines[..i].iter().map(|l| format!("{l}\n")).collect();
+        std::fs::write(&bad_path, truncated).unwrap();
+        assert!(
+            load_model(&bad_path, &mut victim).is_err(),
+            "truncation at line {i} must be rejected"
+        );
+        // Variant 2: line i replaced with garbage.
+        let mangled: String = lines
+            .iter()
+            .enumerate()
+            .map(|(j, l)| if j == i { "@@ not hex @@\n".to_string() } else { format!("{l}\n") })
+            .collect();
+        std::fs::write(&bad_path, mangled).unwrap();
+        assert!(
+            load_model(&bad_path, &mut victim).is_err(),
+            "garbage at line {i} must be rejected"
+        );
+        // A failed load must not have committed anything.
+        assert_eq!(
+            predict_scores(&victim, &tensors, &q),
+            pristine_scores,
+            "rejected load at line {i} modified the model"
+        );
+    }
+
+    // After surviving the sweep the pristine file still loads, and the
+    // round trip is bit-identical.
+    let gamma = load_model(&good_path, &mut victim).unwrap();
+    assert_eq!(gamma, trained.gamma);
+    let reload_path = dir.join("sweep_reload.model");
+    save_model(&reload_path, &victim, gamma).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&reload_path).unwrap(),
+        good,
+        "round trip after the corruption sweep must be bit-identical"
+    );
+}
+
 #[test]
 fn enlarged_dataset_round_trips() {
     let data = qdgnn::data::presets::toy();

@@ -1,0 +1,146 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! Provides the types and macros the workspace's benches use
+//! ([`Criterion::benchmark_group`], `sample_size`, `measurement_time`,
+//! `bench_function`, [`Bencher::iter`], [`criterion_group!`],
+//! [`criterion_main!`]). Measurement is a simple warmup + timed-batch
+//! mean/min report — no statistics engine, no HTML output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, 100, Duration::from_secs(5), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to `sample_size` samples within the
+    /// measurement budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup (also primes caches/allocators).
+        black_box(f());
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench(name: &str, sample_size: usize, measurement_time: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), sample_size, measurement_time };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name}: no samples collected");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!("  {name}: mean {mean:?}, min {min:?} ({} samples)", b.samples.len());
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5).measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| ran += 1);
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

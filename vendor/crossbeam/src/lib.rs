@@ -1,0 +1,69 @@
+//! Vendored, dependency-free subset of the `crossbeam` 0.8 API.
+//!
+//! Only [`thread::scope`] is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). Matching crossbeam's
+//! contract, a panicking child thread does not abort the process: the
+//! panic payload is captured and surfaced as the scope's `Err` value.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's error-reporting contract.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the payload of a panicked child.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle passed to the scope closure; spawns scoped worker threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// `scope` returns. Returns `Err` when any child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = crate::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let out = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child down"));
+        });
+        assert!(out.is_err());
+    }
+}

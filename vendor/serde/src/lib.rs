@@ -1,0 +1,15 @@
+//! Vendored stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few config
+//! structs but has no format crate (serde_json etc.), so nothing ever
+//! calls the traits. This stub provides the two marker traits and no-op
+//! derive macros so those annotations keep compiling offline.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! shim. The workspace annotates types with these derives (and inert
+//! `#[serde(...)]` helper attributes) but never serializes through a
+//! format crate, so the derives only need to be *accepted*, not to emit
+//! trait implementations.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and its `#[serde(...)]` helpers.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and its `#[serde(...)]` helpers.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
