@@ -1,0 +1,188 @@
+//! The machine-readable lint catalog.
+//!
+//! Every rule the engine enforces is described here: id, one-line
+//! summary, rationale, the paths it is enforced on, and the suppression
+//! syntax. `qdgnn-analyze --catalog` serialises this table as JSON so
+//! external tooling (CI annotations, editors) can consume it without
+//! parsing Rust.
+
+/// Static description of one lint rule.
+pub struct Rule {
+    /// Stable identifier, e.g. `QD001`.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Why the rule exists in this repository.
+    pub rationale: &'static str,
+    /// Path substrings the rule is enforced on (empty = whole tree).
+    pub enforced_paths: &'static [&'static str],
+    /// Whether `// qdgnn-analyze: allow(ID, reason = "…")` may suppress it.
+    pub suppressible: bool,
+}
+
+/// The full catalog, ordered by id.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "QD000",
+        summary: "suppression comments must carry a written reason",
+        rationale: "A suppression without a reason is indistinguishable from \
+                    a silenced bug; `allow(QDxxx, reason = \"…\")` keeps the \
+                    audit trail in the source.",
+        enforced_paths: &[],
+        suppressible: false,
+    },
+    Rule {
+        id: "QD001",
+        summary: "no unwrap/expect/panic!/unreachable!/direct indexing on \
+                  serving and persistence paths",
+        rationale: "The online query path (QD-GNN/AQD-GNN serving split) must \
+                    degrade via typed QdgnnError, never abort: a panic in \
+                    serve/persist/inputs/identify takes down every in-flight \
+                    query. Model forward passes (crates/core/src/models/*) get \
+                    the panic-family subset; structural indexing there is \
+                    bounded by construction.",
+        enforced_paths: &[
+            "crates/core/src/serve.rs",
+            "crates/core/src/persist.rs",
+            "crates/core/src/inputs.rs",
+            "crates/core/src/identify.rs",
+            "crates/core/src/models/",
+        ],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD002",
+        summary: "no f32 == / != comparisons",
+        rationale: "Exact float equality silently breaks under reordered \
+                    accumulation (parallel matmul tiles) and resume replay; \
+                    use tolerances, or suppress with a reason where exact \
+                    sentinel values (0.0 sparsity skips) are intended.",
+        enforced_paths: &[],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD003",
+        summary: "every tape op must have a finite-difference gradient check",
+        rationale: "The autograd engine is hand-written; an op whose backward \
+                    is never checked against central differences is an \
+                    unverified derivative. Enforced by matching enum Op \
+                    variants in crates/tensor/src/tape.rs against fd_* tests \
+                    in tests/properties.rs.",
+        enforced_paths: &["crates/tensor/src/tape.rs"],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD004",
+        summary: "no wall-clock or time-seeded RNG on resume-deterministic paths",
+        rationale: "Crash-resume is bit-identical only if training replays the \
+                    same arithmetic; SystemTime::now / from_entropy / \
+                    thread_rng in train.rs or tape.rs breaks the guarantee. \
+                    Instant::now is allowed (wall-clock reporting only).",
+        enforced_paths: &[
+            "crates/core/src/train.rs",
+            "crates/tensor/src/tape.rs",
+        ],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD005",
+        summary: "no nested lock acquisitions or locks held across thread joins",
+        rationale: "The parallel trainer and matmul tiles use scoped threads; \
+                    a guard held while taking a second lock or while joining \
+                    crossbeam::thread::scope is a deadlock seed that only \
+                    fires under load.",
+        enforced_paths: &[
+            "crates/core/src/train.rs",
+            "crates/tensor/src/dense.rs",
+            "crates/tensor/src/sparse.rs",
+        ],
+        suppressible: true,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Serialises the catalog as JSON (hand-rolled; no serde in this crate).
+pub fn catalog_json() -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"id\": {},\n", json_str(r.id)));
+        out.push_str(&format!("    \"summary\": {},\n", json_str(r.summary)));
+        out.push_str(&format!("    \"rationale\": {},\n", json_str(r.rationale)));
+        out.push_str("    \"enforced_paths\": [");
+        for (j, p) in r.enforced_paths.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(p));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("    \"suppressible\": {},\n", r.suppressible));
+        out.push_str(&format!(
+            "    \"suppression_syntax\": {}\n",
+            json_str(&format!(
+                "// qdgnn-analyze: allow({}, reason = \"…\")",
+                r.id
+            ))
+        ));
+        out.push_str(if i + 1 == RULES.len() { "  }\n" } else { "  },\n" });
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_ids_are_sorted_and_unique() {
+        let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn catalog_json_is_balanced() {
+        let j = catalog_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert_eq!(j.matches('{').count(), RULES.len());
+        assert_eq!(j.matches('}').count(), RULES.len());
+        for r in RULES {
+            assert!(j.contains(r.id));
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_rule() {
+        for r in RULES {
+            assert!(rule(r.id).is_some());
+        }
+        assert!(rule("QD999").is_none());
+    }
+}

@@ -1,0 +1,223 @@
+//! `qdgnn-analyze`: repo-specific static analysis for the qdgnn
+//! workspace.
+//!
+//! A from-scratch, dependency-free lint engine: [`lexer`] scans Rust
+//! sources (comment/string-aware, brace-tracking, `#[cfg(test)]`
+//! detection), [`rules`] implements the QD001–QD005 checks, and
+//! [`catalog`] describes them machine-readably. This module wires the
+//! pieces together: filesystem walking, suppression handling, and
+//! deterministic ordering of findings.
+
+pub mod catalog;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use lexer::SourceFile;
+pub use rules::Finding;
+
+/// Directories never scanned: vendored shims and build/VCS artifacts.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".claude", "related"];
+
+/// Recursively collects every `.rs` file under `root` (skipping
+/// [`SKIP_DIRS`]) and scans it. Files are returned sorted by path so
+/// analysis order — and therefore output — is reproducible across
+/// filesystems.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let src = match fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(_) => continue, // non-UTF-8: nothing for a Rust lexer to do
+            };
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::scan(&rel, &src));
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the scanned sources, applies suppressions, adds
+/// QD000 meta-findings for reason-less or unknown suppressions, and
+/// returns findings sorted by `(path, line, rule)` for reproducible CI
+/// diffs.
+pub fn analyze_sources(files: &[SourceFile]) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    for sf in files {
+        raw.extend(rules::check_file(sf));
+    }
+
+    // QD003 is cross-file: tape ops vs. the root property-test suite.
+    let tape = files.iter().find(|f| f.path.ends_with("crates/tensor/src/tape.rs"));
+    let props = files
+        .iter()
+        .find(|f| f.path == "tests/properties.rs" || f.path.ends_with("/tests/properties.rs"));
+    if let Some(t) = tape {
+        raw.extend(rules::qd003(t, props));
+    }
+
+    // A suppression covers findings of its rule on its own line and the
+    // line below, so it can trail the offending expression or sit
+    // directly above it.
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let Some(sf) = files.iter().find(|s| s.path == f.path) else { return true };
+            !sf.suppressions.iter().any(|sup| {
+                sup.rule == f.rule
+                    && (sup.line == f.line || sup.line + 1 == f.line)
+                    && catalog::rule(&sup.rule).is_some_and(|r| r.suppressible)
+            })
+        })
+        .collect();
+
+    for sf in files {
+        for sup in &sf.suppressions {
+            match catalog::rule(&sup.rule) {
+                None => out.push(Finding {
+                    rule: "QD000",
+                    path: sf.path.clone(),
+                    line: sup.line,
+                    message: format!("suppression names unknown rule `{}`", sup.rule),
+                    snippet: sf.snippet(sup.line),
+                }),
+                Some(r) if !r.suppressible => out.push(Finding {
+                    rule: "QD000",
+                    path: sf.path.clone(),
+                    line: sup.line,
+                    message: format!("rule `{}` cannot be suppressed", sup.rule),
+                    snippet: sf.snippet(sup.line),
+                }),
+                Some(_) if sup.reason.is_none() => out.push(Finding {
+                    rule: "QD000",
+                    path: sf.path.clone(),
+                    line: sup.line,
+                    message: format!(
+                        "suppression of `{}` has no written reason — use `allow({}, reason = \"…\")`",
+                        sup.rule, sup.rule
+                    ),
+                    snippet: sf.snippet(sup.line),
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str())
+            .cmp(&(b.path.as_str(), b.line, b.rule, b.message.as_str()))
+    });
+    out
+}
+
+/// Convenience: collect + analyze from a workspace root.
+pub fn analyze_root(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_sources(&collect_sources(root)?))
+}
+
+/// Renders findings as JSON (for `--json`).
+pub fn findings_json(findings: &[Finding]) -> String {
+    use catalog::json_str;
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}{}\n",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.snippet),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_with_reason_silences_finding() {
+        let src = "
+fn f(x: Option<u32>) -> u32 {
+    // qdgnn-analyze: allow(QD001, reason = \"startup only, config validated at load\")
+    x.unwrap()
+}
+";
+        let files = vec![SourceFile::scan("crates/core/src/serve.rs", src)];
+        assert!(analyze_sources(&files).is_empty(), "{:?}", analyze_sources(&files));
+    }
+
+    #[test]
+    fn suppression_without_reason_yields_qd000() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // qdgnn-analyze: allow(QD001)\n}\n";
+        let files = vec![SourceFile::scan("crates/core/src/serve.rs", src)];
+        let f = analyze_sources(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "QD000");
+    }
+
+    #[test]
+    fn suppression_for_other_rule_does_not_silence() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // qdgnn-analyze: allow(QD002, reason = \"n/a\")\n    x.unwrap()\n}\n";
+        let files = vec![SourceFile::scan("crates/core/src/serve.rs", src)];
+        let f = analyze_sources(&files);
+        assert!(f.iter().any(|f| f.rule == "QD001"), "{f:?}");
+    }
+
+    #[test]
+    fn findings_are_sorted_by_path_line_rule() {
+        let a = SourceFile::scan(
+            "crates/core/src/serve.rs",
+            "fn f(x: Option<u32>) { x.unwrap(); panic!(\"b\"); }\n",
+        );
+        let b = SourceFile::scan(
+            "crates/core/src/inputs.rs",
+            "fn g(v: &[f32]) -> bool { v[0] == 0.0 }\n",
+        );
+        let f = analyze_sources(&[a, b]);
+        let keys: Vec<(String, u32, &str)> =
+            f.iter().map(|f| (f.path.clone(), f.line, f.rule)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert!(keys[0].0.contains("inputs"), "{keys:?}");
+    }
+
+    #[test]
+    fn findings_json_is_wellformed() {
+        let files = vec![SourceFile::scan(
+            "crates/core/src/serve.rs",
+            "fn f(x: Option<u32>) { x.unwrap(); }\n",
+        )];
+        let j = findings_json(&analyze_sources(&files));
+        assert!(j.contains("\"QD001\""));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+}

@@ -1,0 +1,110 @@
+//! `qdgnn-analyze` CLI: runs the repo lint rules over the workspace.
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qdgnn_analyze::{analyze_root, catalog, findings_json};
+
+const USAGE: &str = "\
+qdgnn-analyze — repo-specific static analysis for the qdgnn workspace
+
+USAGE:
+    qdgnn-analyze [OPTIONS]
+
+OPTIONS:
+    --deny          exit non-zero if any finding is reported (CI gate)
+    --json          print findings as JSON instead of text
+    --catalog       print the machine-readable rule catalog as JSON and exit
+    --root <PATH>   workspace root to scan (default: auto-detected from cwd)
+    -h, --help      show this help
+";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut show_catalog = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--catalog" => show_catalog = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if show_catalog {
+        println!("{}", catalog::catalog_json());
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let findings = match analyze_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", findings_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{} {}:{}: {}", f.rule, f.path, f.line, f.message);
+            if !f.snippet.is_empty() {
+                println!("    {}", f.snippet);
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        eprintln!("qdgnn-analyze: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("qdgnn-analyze: {} finding(s)", findings.len());
+        if deny {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`; falls back to the current directory.
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &cwd;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd,
+        }
+    }
+}

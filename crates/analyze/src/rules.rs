@@ -1,0 +1,614 @@
+//! The lint rules (QD001–QD005).
+//!
+//! Each rule is a pure function from scanned [`SourceFile`]s to
+//! [`Finding`]s; suppression handling and ordering live in
+//! [`crate::analyze_sources`]. Every rule carries self-tests on
+//! embedded good/bad snippets at the bottom of this file.
+
+use crate::lexer::{SourceFile, TokKind};
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id from the catalog, e.g. `QD001`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// The trimmed offending source line.
+    pub snippet: String,
+}
+
+fn finding(rule: &'static str, sf: &SourceFile, line: u32, message: String) -> Finding {
+    Finding { rule, path: sf.path.clone(), line, message, snippet: sf.snippet(line) }
+}
+
+/// Files where the full QD001 rule (panic family + direct indexing)
+/// applies: the online serving and persistence paths.
+const QD001_SERVING: &[&str] = &[
+    "crates/core/src/serve.rs",
+    "crates/core/src/persist.rs",
+    "crates/core/src/inputs.rs",
+    "crates/core/src/identify.rs",
+];
+
+/// Keywords that may legitimately precede `[` without it being an
+/// indexing expression (array literals, types, closures).
+const NON_RECEIVER_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break",
+    "continue", "in", "let", "mut", "ref", "move", "as", "use", "pub",
+    "fn", "impl", "struct", "enum", "trait", "type", "where", "unsafe",
+    "dyn", "static", "const", "crate", "super", "mod", "extern",
+];
+
+/// QD001: no `unwrap`/`expect`/`panic!`/`unreachable!`/direct indexing
+/// on serving and persistence paths; panic-family subset on model code.
+pub fn qd001(sf: &SourceFile) -> Vec<Finding> {
+    let full = QD001_SERVING.iter().any(|p| sf.path.ends_with(p));
+    let models = sf.path.contains("crates/core/src/models/");
+    if !full && !models {
+        return Vec::new();
+    }
+    let toks = &sf.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                let prev_dot = i > 0 && toks[i - 1].text == ".";
+                let next_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
+                match t.text.as_str() {
+                    "unwrap" | "expect" if prev_dot => out.push(finding(
+                        "QD001",
+                        sf,
+                        t.line,
+                        format!(
+                            "`.{}()` on a serving/persistence path — return a typed QdgnnError instead",
+                            t.text
+                        ),
+                    )),
+                    "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => {
+                        out.push(finding(
+                            "QD001",
+                            sf,
+                            t.line,
+                            format!(
+                                "`{}!` on a serving/persistence path — the online query path must degrade via typed errors, never abort",
+                                t.text
+                            ),
+                        ))
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct if full && t.text == "[" && i > 0 => {
+                let p = &toks[i - 1];
+                let is_receiver = match p.kind {
+                    TokKind::Ident => !NON_RECEIVER_KEYWORDS.contains(&p.text.as_str()),
+                    TokKind::Punct => p.text == ")" || p.text == "]",
+                    _ => false,
+                };
+                if is_receiver {
+                    out.push(finding(
+                        "QD001",
+                        sf,
+                        t.line,
+                        format!(
+                            "direct indexing `{}[…]` on a serving/persistence path — validate bounds and return a typed error",
+                            p.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Is this token a float literal? (`.`-containing, `f32`/`f64`-suffixed,
+/// or decimal-exponent numbers; hex literals are excluded.)
+fn is_float_lit(sf: &SourceFile, idx: usize) -> bool {
+    let Some(t) = sf.toks.get(idx) else { return false };
+    if t.kind != TokKind::Num {
+        return false;
+    }
+    let s = t.text.as_str();
+    if s.starts_with("0x") || s.starts_with("0X") {
+        return false;
+    }
+    s.contains('.')
+        || s.ends_with("f32")
+        || s.ends_with("f64")
+        || s.contains('e')
+        || s.contains('E')
+}
+
+/// QD002: no `==`/`!=` where either operand is a float literal.
+pub fn qd002(sf: &SourceFile) -> Vec<Finding> {
+    let toks = &sf.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        // Operand on the right may be negated: `== -0.5`.
+        let right = if toks.get(i + 1).is_some_and(|n| n.text == "-") { i + 2 } else { i + 1 };
+        let float = (i > 0 && is_float_lit(sf, i - 1)) || is_float_lit(sf, right);
+        if float {
+            out.push(finding(
+                "QD002",
+                sf,
+                t.line,
+                format!(
+                    "exact float comparison `{}` against a float literal — use a tolerance, or suppress with a reason where an exact sentinel is intended",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// QD003: every `enum Op` variant registered on the tape must be
+/// referenced by a finite-difference gradient check (an identifier
+/// starting with `fd` whose normalized form contains the variant name)
+/// in `tests/properties.rs`.
+pub fn qd003(tape: &SourceFile, properties: Option<&SourceFile>) -> Vec<Finding> {
+    let variants = op_variants(tape);
+    let Some(props) = properties else {
+        return variants
+            .into_iter()
+            .map(|(name, line)| {
+                finding(
+                    "QD003",
+                    tape,
+                    line,
+                    format!(
+                        "tape op `{name}` cannot be verified: tests/properties.rs not found"
+                    ),
+                )
+            })
+            .collect();
+    };
+    let fd_idents: Vec<String> = props
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text.starts_with("fd"))
+        .map(|t| normalize(&t.text))
+        .collect();
+    variants
+        .into_iter()
+        .filter(|(name, _)| {
+            let n = normalize(name);
+            !fd_idents.iter().any(|id| id.contains(&n))
+        })
+        .map(|(name, line)| {
+            finding(
+                "QD003",
+                tape,
+                line,
+                format!(
+                    "tape op `{name}` has no finite-difference gradient check (expected an `fd_*` test referencing it in tests/properties.rs)"
+                ),
+            )
+        })
+        .collect()
+}
+
+fn normalize(s: &str) -> String {
+    s.chars().filter(|c| *c != '_').flat_map(char::to_lowercase).collect()
+}
+
+/// Extracts `(variant_name, line)` pairs from `enum Op { … }`, skipping
+/// the gradient-less `Leaf` variant and `#[…]` attribute contents.
+fn op_variants(sf: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &sf.toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].text == "enum" && toks[i + 1].text == "Op" && toks[i + 2].text == "{" {
+            let body_depth = toks[i + 2].depth;
+            let mut j = i + 3;
+            let mut expect_variant = true;
+            // Parens don't change brace depth, so tuple-variant field
+            // lists (`Add(usize, usize)`) need their own nesting count
+            // to keep their commas from looking like variant separators.
+            let mut parens = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.text == "}" && t.depth == body_depth {
+                    break;
+                }
+                match t.text.as_str() {
+                    "(" => parens += 1,
+                    ")" => parens -= 1,
+                    _ => {}
+                }
+                if t.text == "#" {
+                    // Skip attribute bracket group (brackets don't
+                    // affect brace depth, so track them here).
+                    j += 1;
+                    if toks.get(j).map(|n| n.text.as_str()) == Some("[") {
+                        let mut brackets = 1;
+                        j += 1;
+                        while j < toks.len() && brackets > 0 {
+                            match toks[j].text.as_str() {
+                                "[" => brackets += 1,
+                                "]" => brackets -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    continue;
+                }
+                if t.text == "," && t.depth == body_depth + 1 && parens == 0 {
+                    expect_variant = true;
+                } else if expect_variant
+                    && t.kind == TokKind::Ident
+                    && t.depth == body_depth + 1
+                    && parens == 0
+                {
+                    if t.text != "Leaf" {
+                        out.push((t.text.clone(), t.line));
+                    }
+                    expect_variant = false;
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Paths covered by the resume bit-identity guarantee.
+const QD004_PATHS: &[&str] = &["crates/core/src/train.rs", "crates/tensor/src/tape.rs"];
+
+/// Identifiers that introduce nondeterminism. `Instant::now` is
+/// deliberately absent: it only feeds wall-clock reporting.
+const QD004_BANNED: &[&str] = &["SystemTime", "thread_rng", "from_entropy"];
+
+/// QD004: no wall-clock time or entropy-seeded RNG on paths covered by
+/// the crash-resume bit-identity guarantee.
+pub fn qd004(sf: &SourceFile) -> Vec<Finding> {
+    if !QD004_PATHS.iter().any(|p| sf.path.ends_with(p)) {
+        return Vec::new();
+    }
+    sf.toks
+        .iter()
+        .filter(|t| {
+            !t.in_test && t.kind == TokKind::Ident && QD004_BANNED.contains(&t.text.as_str())
+        })
+        .map(|t| {
+            finding(
+                "QD004",
+                sf,
+                t.line,
+                format!(
+                    "`{}` on a resume-deterministic path — training must replay bit-identically from a checkpoint; seed explicitly instead",
+                    t.text
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Paths where the parallel trainer / tiled matmul use locks.
+const QD005_PATHS: &[&str] = &[
+    "crates/core/src/train.rs",
+    "crates/tensor/src/dense.rs",
+    "crates/tensor/src/sparse.rs",
+];
+
+/// QD005: flag a second lock acquisition while a guard is live, and
+/// let-bound guards still live when a `crossbeam::thread::scope` join
+/// runs.
+///
+/// Heuristic model: `let`-bound guards live until their enclosing block
+/// closes (or an explicit `drop(…)`); guards acquired as temporaries
+/// (`m.lock().push(x)`) die at the end of their statement.
+pub fn qd005(sf: &SourceFile) -> Vec<Finding> {
+    if !QD005_PATHS.iter().any(|p| sf.path.ends_with(p)) {
+        return Vec::new();
+    }
+    // `.read()`/`.write()` only count as lock methods when the file
+    // actually uses an RwLock, so io traits don't trip the rule.
+    let has_rwlock = sf.toks.iter().any(|t| t.text == "RwLock");
+
+    struct Guard {
+        depth: u32,
+        temp: bool,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut stmt_has_let = false;
+    let mut out = Vec::new();
+    let toks = &sf.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            continue;
+        }
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "let") => stmt_has_let = true,
+            (TokKind::Punct, ";") => {
+                guards.retain(|g| !(g.temp && t.depth <= g.depth));
+                stmt_has_let = false;
+            }
+            (TokKind::Punct, "{") => stmt_has_let = false,
+            (TokKind::Punct, "}") => {
+                guards.retain(|g| g.depth <= t.depth);
+                stmt_has_let = false;
+            }
+            (TokKind::Ident, "drop")
+                if toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                guards.pop();
+            }
+            (TokKind::Ident, m @ ("lock" | "read" | "write"))
+                if i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && (m == "lock" || has_rwlock) =>
+            {
+                if !guards.is_empty() {
+                    out.push(finding(
+                        "QD005",
+                        sf,
+                        t.line,
+                        format!(
+                            "`.{m}()` while another lock guard is live — nested acquisitions deadlock under load; narrow the first guard's scope"
+                        ),
+                    ));
+                }
+                guards.push(Guard { depth: t.depth, temp: !stmt_has_let });
+            }
+            (TokKind::Ident, "scope" | "crossbeam") if guards.iter().any(|g| !g.temp) => {
+                out.push(finding(
+                    "QD005",
+                    sf,
+                    t.line,
+                    "lock guard held across a thread-scope join — worker threads taking the same lock will deadlock".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Runs every per-file rule on one source file.
+pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
+    let mut out = qd001(sf);
+    out.extend(qd002(sf));
+    out.extend(qd004(sf));
+    out.extend(qd005(sf));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn scan(path: &str, src: &str) -> SourceFile {
+        SourceFile::scan(path, src)
+    }
+
+    // ---- QD001 ----
+
+    #[test]
+    fn qd001_bad_panic_family_on_serving_path() {
+        let sf = scan(
+            "crates/core/src/serve.rs",
+            r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("msg");
+    if a == 0 { panic!("boom"); }
+    unreachable!()
+}
+"#,
+        );
+        let f = qd001(&sf);
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "QD001"));
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].snippet.contains("unwrap"));
+    }
+
+    #[test]
+    fn qd001_bad_indexing_on_serving_path() {
+        let sf = scan(
+            "crates/core/src/persist.rs",
+            "fn f(v: &[f32], i: usize) -> f32 { v[i] + g()[0] }\n",
+        );
+        let f = qd001(&sf);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn qd001_good_no_false_positives() {
+        let sf = scan(
+            "crates/core/src/serve.rs",
+            r#"
+#[derive(Debug)]
+struct S { xs: Vec<f32> }
+fn f(v: &[f32], i: usize) -> Result<f32, ()> {
+    // unwrap() discussed in a comment is fine
+    let msg = "do not unwrap() in serving";
+    let arr = [0u8; 4];
+    let y = vec![1, 2];
+    let first = v.get(i).copied().ok_or(())?;
+    let or = Some(1).unwrap_or(0) + Some(2).unwrap_or_default();
+    Ok(first + msg.len() as f32 + arr.len() as f32 + y.len() as f32 + or as f32)
+}
+"#,
+        );
+        assert!(qd001(&sf).is_empty(), "{:?}", qd001(&sf));
+    }
+
+    #[test]
+    fn qd001_models_get_panic_subset_only() {
+        let sf = scan(
+            "crates/core/src/models/blocks.rs",
+            "fn f(v: &[f32]) -> f32 { let x = v[0]; x }\nfn g() { panic!(\"no\"); }\n",
+        );
+        let f = qd001(&sf);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("panic"));
+    }
+
+    #[test]
+    fn qd001_test_code_is_exempt() {
+        let sf = scan(
+            "crates/core/src/serve.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n",
+        );
+        assert!(qd001(&sf).is_empty());
+    }
+
+    #[test]
+    fn qd001_not_enforced_elsewhere() {
+        let sf = scan("crates/tensor/src/dense.rs", "fn f() { None::<u32>.unwrap(); }\n");
+        assert!(qd001(&sf).is_empty());
+    }
+
+    // ---- QD002 ----
+
+    #[test]
+    fn qd002_bad_float_equality() {
+        let sf = scan(
+            "crates/x/src/a.rs",
+            "fn f(x: f32) -> bool { x == 0.0 || x != 1e-3 || -0.5 == x || x == -2.0f32 }\n",
+        );
+        assert_eq!(qd002(&sf).len(), 4);
+    }
+
+    #[test]
+    fn qd002_good_integers_and_tolerances() {
+        let sf = scan(
+            "crates/x/src/a.rs",
+            "fn f(x: f32, n: usize) -> bool { n == 0 || n != 0xFF || (x - 0.5).abs() < 1e-6 }\n",
+        );
+        assert!(qd002(&sf).is_empty(), "{:?}", qd002(&sf));
+    }
+
+    // ---- QD003 ----
+
+    const TAPE_SNIPPET: &str = "
+pub enum Op {
+    Leaf,
+    Matmul { a: usize, b: usize },
+    Add(usize, usize),
+    #[allow(dead_code)]
+    ColMean { x: usize },
+}
+";
+
+    #[test]
+    fn qd003_bad_uncovered_op() {
+        let tape = scan("crates/tensor/src/tape.rs", TAPE_SNIPPET);
+        let props = scan("tests/properties.rs", "fn fd_matmul() {}\nfn fd_add() {}\n");
+        let f = qd003(&tape, Some(&props));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("ColMean"));
+    }
+
+    #[test]
+    fn qd003_good_all_covered() {
+        let tape = scan("crates/tensor/src/tape.rs", TAPE_SNIPPET);
+        let props = scan(
+            "tests/properties.rs",
+            "fn fd_matmul() {}\nfn fd_add() {}\nfn fd_col_mean() {}\n",
+        );
+        assert!(qd003(&tape, Some(&props)).is_empty());
+    }
+
+    #[test]
+    fn qd003_missing_properties_reports_every_op() {
+        let tape = scan("crates/tensor/src/tape.rs", TAPE_SNIPPET);
+        assert_eq!(qd003(&tape, None).len(), 3);
+    }
+
+    // ---- QD004 ----
+
+    #[test]
+    fn qd004_bad_wall_clock_and_entropy() {
+        let sf = scan(
+            "crates/core/src/train.rs",
+            "fn f() {\n    let t = SystemTime::now();\n    let mut r = thread_rng();\n    let s = StdRng::from_entropy();\n}\n",
+        );
+        assert_eq!(qd004(&sf).len(), 3);
+    }
+
+    #[test]
+    fn qd004_good_instant_and_seeded() {
+        let sf = scan(
+            "crates/core/src/train.rs",
+            "fn f(seed: u64) {\n    let t = Instant::now();\n    let r = StdRng::seed_from_u64(seed);\n}\n",
+        );
+        assert!(qd004(&sf).is_empty());
+    }
+
+    // ---- QD005 ----
+
+    #[test]
+    fn qd005_bad_nested_locks() {
+        let sf = scan(
+            "crates/core/src/train.rs",
+            "fn f() {\n    let a = m1.lock();\n    let b = m2.lock();\n}\n",
+        );
+        let f = qd005(&sf);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn qd005_bad_guard_across_scope() {
+        let sf = scan(
+            "crates/core/src/train.rs",
+            "fn f() {\n    let g = m.lock();\n    crossbeam::thread::scope(|s| {});\n}\n",
+        );
+        // Both the `crossbeam` and `scope` tokens fire while the guard is live.
+        assert!(!qd005(&sf).is_empty());
+    }
+
+    #[test]
+    fn qd005_good_sequential_and_temporary() {
+        let sf = scan(
+            "crates/core/src/train.rs",
+            "
+fn f() {
+    results.lock().push(1);
+    results.lock().push(2);
+    { let a = m1.lock(); }
+    let b = m2.lock();
+    drop(b);
+    crossbeam::thread::scope(|s| {
+        s.spawn(|_| { results.lock().push(3); });
+    });
+}
+",
+        );
+        assert!(qd005(&sf).is_empty(), "{:?}", qd005(&sf));
+    }
+
+    #[test]
+    fn qd005_io_write_not_flagged_without_rwlock() {
+        let sf = scan(
+            "crates/tensor/src/dense.rs",
+            "fn f(w: &mut W) {\n    let g = m.lock();\n    w.write(b\"x\");\n}\n",
+        );
+        assert!(qd005(&sf).is_empty(), "{:?}", qd005(&sf));
+    }
+}

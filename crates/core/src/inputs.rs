@@ -117,13 +117,16 @@ impl QueryVectors {
     pub fn encode(n: usize, d: usize, vertices: &[VertexId], attrs: &[AttrId]) -> Self {
         match Self::try_encode(n, d, vertices, attrs) {
             Ok(qv) => qv,
+            // qdgnn-analyze: allow(QD001, reason = "documented trusted-input variant for training data; serving uses try_encode")
             Err(e) => panic!("invalid training query: {e}"),
         }
     }
 
     /// Whether the query carries attributes.
     pub fn has_attrs(&self) -> bool {
-        self.attr_onehot.as_slice().iter().any(|&x| x != 0.0)
+        // One-hot entries are exactly 0.0 or 1.0 by construction, so a
+        // strict sign test avoids exact float equality.
+        self.attr_onehot.as_slice().iter().any(|&x| x > 0.0)
     }
 }
 

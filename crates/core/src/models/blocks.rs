@@ -204,22 +204,25 @@ impl FusionOp {
             }
             crate::config::FusionAgg::Attention => {
                 debug_assert_eq!(parts.len(), self.gates.len(), "one gate per branch");
-                let mut acc: Option<Var> = None;
-                for (&p, &(w, b)) in parts.iter().zip(&self.gates) {
-                    let wv = ctx.param(w);
-                    let bv = ctx.param(b);
-                    let logits = ctx.tape.matmul(p, wv);
-                    let logits = ctx.tape.add_row(logits, bv);
-                    let gate = ctx.tape.sigmoid(logits);
-                    let gated = ctx.tape.mul_col(p, gate);
-                    acc = Some(match acc {
-                        None => gated,
-                        Some(a) => ctx.tape.add(a, gated),
-                    });
+                let (w0, b0) = self.gates[0];
+                let mut acc = self.gated(ctx, parts[0], w0, b0);
+                for (&p, &(w, b)) in parts[1..].iter().zip(&self.gates[1..]) {
+                    let g = self.gated(ctx, p, w, b);
+                    acc = ctx.tape.add(acc, g);
                 }
-                acc.expect("at least one branch")
+                acc
             }
         }
+    }
+
+    /// One attention branch: sigmoid-gated projection of `p`.
+    fn gated<R: Rng>(&self, ctx: &mut ForwardCtx<'_, R>, p: Var, w: ParamId, b: ParamId) -> Var {
+        let wv = ctx.param(w);
+        let bv = ctx.param(b);
+        let logits = ctx.tape.matmul(p, wv);
+        let logits = ctx.tape.add_row(logits, bv);
+        let gate = ctx.tape.sigmoid(logits);
+        ctx.tape.mul_col(p, gate)
     }
 }
 

@@ -338,10 +338,10 @@ fn read_bns_section(
         return Err(bad("batch-norm count mismatch"));
     }
     let mut out = Vec::with_capacity(count);
-    for i in 0..count {
+    for bn in model.bns() {
         let header = next_line(lines)?;
         let dim = parse_count(&header, "bn ")?;
-        if dim != model.bns()[i].dim() {
+        if dim != bn.dim() {
             return Err(bad("batch-norm width mismatch"));
         }
         let mut mean = Vec::with_capacity(dim);

@@ -338,6 +338,8 @@ pub(crate) fn run_training_from<M: CsModel>(
             }
             opt.step(model.store_mut(), &grads);
             model.apply_bn_stats(&all_stats);
+            #[cfg(feature = "sanitize")]
+            sanitize_check_params(model.store());
             epoch_loss += batch_loss;
             counted += batch.len();
         }
@@ -558,10 +560,34 @@ fn query_gradients<M: CsModel>(model: &M, item: &TrainItem, rng_seed: u64) -> Wo
     let mut store_grads = GradStore::for_store(model.store());
     for (var, pid) in out.leaves {
         if let Some(g) = grads.take(var) {
+            #[cfg(feature = "sanitize")]
+            if qdgnn_tensor::sanitize::enabled()
+                && g.as_slice().iter().any(|v| !v.is_finite())
+            {
+                panic!(
+                    "sanitize: gradient for parameter `{}` is non-finite",
+                    model.store().name(pid)
+                );
+            }
             store_grads.accumulate(pid, g);
         }
     }
     WorkerResult { loss: loss_value, grads: store_grads, bn_stats: out.bn_stats }
+}
+
+/// Post-step sanitizer: every parameter must remain finite after an
+/// optimizer update, so Adam-moment corruption is caught at the step
+/// that caused it (with the parameter's name) rather than epochs later.
+#[cfg(feature = "sanitize")]
+fn sanitize_check_params(store: &qdgnn_tensor::ParamStore) {
+    if !qdgnn_tensor::sanitize::enabled() {
+        return;
+    }
+    for (_, name, value) in store.iter() {
+        if let Some(v) = value.as_slice().iter().find(|v| !v.is_finite()) {
+            panic!("sanitize: parameter `{name}` became non-finite ({v}) after an optimizer step");
+        }
+    }
 }
 
 /// Encodes a query for `model` (attributes are dropped for models that

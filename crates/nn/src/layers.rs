@@ -218,7 +218,7 @@ impl Dropout {
 
     /// Records dropout on the tape.
     pub fn forward(&self, tape: &mut Tape, x: Var, mode: Mode, rng: &mut impl Rng) -> Var {
-        if mode == Mode::Eval || self.p == 0.0 {
+        if mode == Mode::Eval || self.p <= 0.0 {
             return x;
         }
         let (rows, cols) = tape.shape(x);

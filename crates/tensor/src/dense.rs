@@ -127,14 +127,24 @@ impl Dense {
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols);
+        crate::sanitize_assert!(
+            r < self.rows && c < self.cols,
+            "Dense::get out of bounds: [{r},{c}] in a {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
     /// Element mutator.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        debug_assert!(r < self.rows && c < self.cols);
+        crate::sanitize_assert!(
+            r < self.rows && c < self.cols,
+            "Dense::set out of bounds: [{r},{c}] in a {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -201,6 +211,7 @@ impl Dense {
             let a_row = self.row(k);
             let b_row = other.row(k);
             for (i, &a) in a_row.iter().enumerate() {
+                // qdgnn-analyze: allow(QD002, reason = "exact-zero sparsity skip: one-hot query inputs make most entries bit-exact 0.0; skipping them is an optimization, not a semantic branch")
                 if a == 0.0 {
                     continue;
                 }
@@ -429,6 +440,7 @@ fn matmul_rows(a: &Dense, b: &Dense, out: &mut [f32], row_start: usize, row_end:
         let a_row = a.row(r);
         let out_row = &mut out[r * n..(r + 1) * n];
         for (k, &av) in a_row.iter().enumerate() {
+            // qdgnn-analyze: allow(QD002, reason = "exact-zero sparsity skip: multiplying by bit-exact 0.0 contributes nothing; skip is an optimization")
             if av == 0.0 {
                 continue;
             }
@@ -464,6 +476,7 @@ fn matmul_parallel(a: &Dense, b: &Dense, out: &mut Dense) {
                     let off = (r - row_start) * n;
                     let out_row = &mut local[off..off + n];
                     for (k, &av) in a_row.iter().enumerate() {
+                        // qdgnn-analyze: allow(QD002, reason = "exact-zero sparsity skip: multiplying by bit-exact 0.0 contributes nothing; skip is an optimization")
                         if av == 0.0 {
                             continue;
                         }

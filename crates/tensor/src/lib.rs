@@ -23,8 +23,21 @@ pub mod dense;
 pub mod ops;
 pub mod optim;
 pub mod param;
+pub mod sanitize;
 pub mod sparse;
 pub mod tape;
+
+/// Shape/bounds assertion that stays live in release builds under
+/// `--features sanitize`; a plain `debug_assert!` otherwise.
+#[macro_export]
+macro_rules! sanitize_assert {
+    ($($arg:tt)*) => {{
+        #[cfg(feature = "sanitize")]
+        assert!($($arg)*);
+        #[cfg(not(feature = "sanitize"))]
+        debug_assert!($($arg)*);
+    }};
+}
 
 pub use dense::Dense;
 pub use optim::{Adam, AdamConfig, AdamState, Sgd};

@@ -277,6 +277,7 @@ impl Csr {
             let lo = self.indptr[r];
             let hi = self.indptr[r + 1];
             let s: f32 = self.values[lo..hi].iter().sum();
+            // qdgnn-analyze: allow(QD002, reason = "guards division by an exactly-zero row sum (empty row); any nonzero sum, however small, is a valid divisor")
             if s != 0.0 {
                 for v in &mut self.values[lo..hi] {
                     *v /= s;

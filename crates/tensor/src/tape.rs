@@ -73,6 +73,34 @@ enum Op {
     BceWithLogitsMean { a: usize, target: Arc<Dense>, weights: Option<Arc<Dense>> },
 }
 
+impl Op {
+    /// The op's name, used by the finiteness sanitizer so NaN/Inf
+    /// reports name their producer.
+    #[cfg_attr(not(feature = "sanitize"), allow(dead_code))]
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Matmul { .. } => "matmul",
+            Op::Spmm { .. } => "spmm",
+            Op::Add { .. } => "add",
+            Op::Sub { .. } => "sub",
+            Op::Hadamard { .. } => "hadamard",
+            Op::AddRow { .. } => "add_row",
+            Op::MulRow { .. } => "mul_row",
+            Op::MulCol { .. } => "mul_col",
+            Op::ColMean { .. } => "col_mean",
+            Op::Relu { .. } => "relu",
+            Op::Sigmoid { .. } => "sigmoid",
+            Op::Scale { .. } => "scale",
+            Op::AddScalar { .. } => "add_scalar",
+            Op::Rsqrt { .. } => "rsqrt",
+            Op::ConcatCols { .. } => "concat_cols",
+            Op::MeanAll { .. } => "mean_all",
+            Op::BceWithLogitsMean { .. } => "bce_with_logits_mean",
+        }
+    }
+}
+
 struct Node {
     value: Arc<Dense>,
     op: Op,
@@ -139,6 +167,10 @@ impl Tape {
     }
 
     fn push_arc(&mut self, value: Arc<Dense>, op: Op) -> Var {
+        #[cfg(feature = "sanitize")]
+        if !matches!(op, Op::Leaf) {
+            crate::sanitize::check_finite(op.name(), &value);
+        }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
@@ -175,8 +207,14 @@ impl Tape {
     /// `mt` must be the transpose of `m` (precompute once per graph with
     /// [`Csr::transpose`] and reuse across queries/epochs).
     pub fn spmm(&mut self, m: &Arc<Csr>, mt: &Arc<Csr>, b: Var) -> Var {
-        debug_assert_eq!(m.rows(), mt.cols());
-        debug_assert_eq!(m.cols(), mt.rows());
+        crate::sanitize_assert!(
+            m.rows() == mt.cols() && m.cols() == mt.rows(),
+            "spmm: mt ({}x{}) is not the transpose of m ({}x{})",
+            mt.rows(),
+            mt.cols(),
+            m.rows(),
+            m.cols()
+        );
         let v = m.spmm(self.val(b));
         self.push(v, Op::Spmm { mt: Arc::clone(mt), b: b.0 })
     }
@@ -431,6 +469,27 @@ mod tests {
 
     fn scalar_loss(t: &mut Tape, v: Var) -> Var {
         t.mean_all(v)
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize")]
+    #[should_panic(expected = "op `rsqrt` produced non-finite value")]
+    fn sanitize_names_the_offending_op() {
+        let _lock = crate::sanitize::test_lock();
+        let mut t = Tape::new();
+        let x = t.leaf(Arc::new(Dense::from_rows(&[&[4.0, -1.0]])));
+        let _ = t.rsqrt(x); // rsqrt(-1) = NaN → provenance panic
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize")]
+    fn sanitize_scoped_off_lets_nonfinite_flow() {
+        let _lock = crate::sanitize::test_lock();
+        let _guard = crate::sanitize::scoped_off();
+        let mut t = Tape::new();
+        let x = t.leaf(Arc::new(Dense::from_rows(&[&[4.0, -1.0]])));
+        let y = t.rsqrt(x);
+        assert!(t.value(y).get(0, 1).is_nan());
     }
 
     #[test]
