@@ -98,6 +98,23 @@ pub const RULES: &[Rule] = &[
         ],
         suppressible: true,
     },
+    Rule {
+        id: "QD006",
+        summary: "no println!/eprintln!/print!/eprint!/dbg! in library code",
+        rationale: "The library crates are linked into servers and harnesses \
+                    that own stdout/stderr; ad-hoc prints corrupt their output \
+                    and vanish from structured logs. Diagnostics must flow \
+                    through qdgnn-obs events/counters (e.g. the \
+                    train.checkpoint_write_failures counter) or typed errors. \
+                    Test modules are exempt.",
+        enforced_paths: &[
+            "crates/core/src/",
+            "crates/tensor/src/",
+            "crates/nn/src/",
+            "crates/graph/src/",
+        ],
+        suppressible: true,
+    },
 ];
 
 /// Looks up a rule by id.

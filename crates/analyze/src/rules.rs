@@ -1,4 +1,4 @@
-//! The lint rules (QD001–QD005).
+//! The lint rules (QD001–QD006).
 //!
 //! Each rule is a pure function from scanned [`SourceFile`]s to
 //! [`Finding`]s; suppression handling and ordering live in
@@ -386,12 +386,61 @@ pub fn qd005(sf: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// Library crates where stdout/stderr printing is banned outside tests:
+/// these are linked into servers and harnesses that own their output
+/// streams; diagnostics must flow through qdgnn-obs events/counters or
+/// typed errors instead.
+const QD006_CRATES: &[&str] = &[
+    "crates/core/src/",
+    "crates/tensor/src/",
+    "crates/nn/src/",
+    "crates/graph/src/",
+];
+
+/// The print-family macros QD006 bans.
+const QD006_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// QD006: no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` on library
+/// paths (core, tensor, nn, graph) outside tests.
+pub fn qd006(sf: &SourceFile) -> Vec<Finding> {
+    if !QD006_CRATES.iter().any(|p| sf.path.contains(p)) {
+        return Vec::new();
+    }
+    let toks = &sf.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident || !QD006_MACROS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Macro invocation only: `println` followed by `!`, and not a
+        // path segment like `writer::println`.
+        if !toks.get(i + 1).is_some_and(|n| n.text == "!") {
+            continue;
+        }
+        if i > 0 && toks[i - 1].text == "::" {
+            continue;
+        }
+        out.push(finding(
+            "QD006",
+            sf,
+            t.line,
+            format!(
+                "`{}!` in library code — record a qdgnn-obs event/counter or return a typed error; binaries own the output streams",
+                t.text
+            ),
+        ));
+    }
+    out
+}
+
 /// Runs every per-file rule on one source file.
 pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     let mut out = qd001(sf);
     out.extend(qd002(sf));
     out.extend(qd004(sf));
     out.extend(qd005(sf));
+    out.extend(qd006(sf));
     out
 }
 
@@ -601,6 +650,50 @@ fn f() {
 ",
         );
         assert!(qd005(&sf).is_empty(), "{:?}", qd005(&sf));
+    }
+
+    // ---- QD006 ----
+
+    #[test]
+    fn qd006_bad_prints_in_library_code() {
+        let sf = scan(
+            "crates/core/src/train.rs",
+            "fn f(x: u32) {\n    println!(\"{x}\");\n    eprintln!(\"warn\");\n    dbg!(x);\n}\n",
+        );
+        let f = qd006(&sf);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "QD006"));
+        assert!(f[1].message.contains("eprintln"));
+    }
+
+    #[test]
+    fn qd006_good_tests_and_non_invocations() {
+        let sf = scan(
+            "crates/tensor/src/tape.rs",
+            r#"
+// println! in a comment is fine
+fn f() {
+    let s = "eprintln! inside a string";
+    custom::println!("path-qualified macro from another crate");
+    let _ = s;
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { println!("test output is fine"); }
+}
+"#,
+        );
+        assert!(qd006(&sf).is_empty(), "{:?}", qd006(&sf));
+    }
+
+    #[test]
+    fn qd006_not_enforced_outside_library_crates() {
+        let sf = scan(
+            "crates/experiments/src/bin/table2.rs",
+            "fn main() { println!(\"table\"); eprintln!(\"banner\"); }\n",
+        );
+        assert!(qd006(&sf).is_empty());
     }
 
     #[test]

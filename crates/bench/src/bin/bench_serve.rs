@@ -1,0 +1,107 @@
+//! `qdgnn-bench` — serving-latency benchmark with per-stage breakdown.
+//!
+//! Trains a bench-scale AQD-GNN per Fast-profile dataset, serves every
+//! test query through [`qdgnn_core::OnlineStage`] under the obs layer,
+//! and writes `BENCH_serve.json`: per-dataset p50/p95 serve latency plus
+//! the encode / forward / BFS stage breakdown. The checked-in copy at
+//! the repo root is the reference point for serving-perf regressions.
+//!
+//! ```text
+//! cargo run --release -p qdgnn-bench --bin qdgnn-bench [-- OUT.json]
+//! ```
+
+use std::fmt::Write as _;
+
+use qdgnn_bench::{bench_model_config, bench_train_config, bench_queries};
+use qdgnn_core::models::AqdGnn;
+use qdgnn_core::{GraphTensors, OnlineStage, Trainer};
+use qdgnn_data::AttrMode;
+
+/// Serve rounds per query: repeats tighten the histogram without
+/// letting the benchmark run long.
+const ROUNDS: usize = 5;
+
+fn hist_json(out: &mut String, snap: &qdgnn_obs::metrics::MetricsSnapshot, name: &str) {
+    let (p50, p95, mean) = snap
+        .hist(name)
+        .map(|h| (h.p50, h.p95, h.mean()))
+        .unwrap_or((0.0, 0.0, 0.0));
+    let _ = write!(
+        out,
+        "{{\"p50_us\":{},\"p95_us\":{},\"mean_us\":{}}}",
+        qdgnn_obs::json::num(p50),
+        qdgnn_obs::json::num(p95),
+        qdgnn_obs::json::num(mean)
+    );
+}
+
+fn main() {
+    assert!(
+        qdgnn_obs::enabled(),
+        "qdgnn-bench needs the obs layer; build with default features"
+    );
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let datasets = [
+        qdgnn_data::presets::fb_414(),
+        qdgnn_data::presets::fb_686(),
+        qdgnn_data::presets::cornell(),
+        qdgnn_data::presets::texas(),
+    ];
+
+    let mut body = String::from("{\n  \"bench\": \"serve\",\n  \"rounds_per_query\": ");
+    let _ = write!(body, "{ROUNDS},\n  \"datasets\": {{\n");
+    for (di, dataset) in datasets.iter().enumerate() {
+        eprintln!("[qdgnn-bench] {}: training...", dataset.name);
+        let mc = bench_model_config();
+        let tensors = GraphTensors::new(&dataset.graph, mc.adj_norm, mc.fusion_graph_attr_cap);
+        let split = bench_queries(dataset, AttrMode::FromCommunity, 1, 3);
+        let trained = Trainer::new(bench_train_config()).train(
+            AqdGnn::new(mc, tensors.d),
+            &tensors,
+            &split.train,
+            &split.val,
+        );
+        // Measure serving only: drop everything training recorded.
+        qdgnn_obs::reset();
+        let stage = OnlineStage::new(&trained.model, &tensors, trained.gamma);
+        for _ in 0..ROUNDS {
+            for q in &split.test {
+                let _ = stage.try_query(q).expect("bench query must be valid");
+            }
+        }
+        let snap = qdgnn_obs::snapshot();
+        let served = snap.counter("serve.queries").unwrap_or(0);
+        eprintln!(
+            "[qdgnn-bench] {}: served {served} queries, p50 {:.0}us p95 {:.0}us",
+            dataset.name,
+            snap.hist("serve.query").map(|h| h.p50).unwrap_or(0.0),
+            snap.hist("serve.query").map(|h| h.p95).unwrap_or(0.0),
+        );
+        let _ = write!(body, "    {}: {{\n", qdgnn_obs::json::escape(&dataset.name));
+        let _ = write!(body, "      \"queries_served\": {served},\n");
+        for (key, metric) in [
+            ("serve", "serve.query"),
+            ("encode", "serve.encode"),
+            ("forward", "serve.forward"),
+            ("bfs", "serve.bfs"),
+        ] {
+            let _ = write!(body, "      \"{key}\": ");
+            hist_json(&mut body, &snap, metric);
+            body.push_str(",\n");
+        }
+        let _ = write!(
+            body,
+            "      \"community_size_mean\": {}\n    }}{}\n",
+            qdgnn_obs::json::num(
+                snap.hist("serve.community_size").map(|h| h.mean()).unwrap_or(0.0)
+            ),
+            if di + 1 == datasets.len() { "" } else { "," }
+        );
+        qdgnn_obs::reset();
+    }
+    body.push_str("  }\n}\n");
+    // Self-check: the report must stay machine-readable.
+    qdgnn_obs::json::parse(&body).expect("generated report is valid JSON");
+    std::fs::write(&out_path, &body).expect("write benchmark report");
+    eprintln!("[qdgnn-bench] wrote {out_path}");
+}

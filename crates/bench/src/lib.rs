@@ -102,6 +102,7 @@ pub fn aqd_untrained() -> Fixture<AqdGnn> {
             train_seconds: 0.0,
             skipped_steps: 0,
             recoveries: 0,
+            checkpoint_write_failures: 0,
             diverged: false,
         },
     };

@@ -21,6 +21,13 @@ pub fn identify_community(
     attributed: bool,
 ) -> Vec<VertexId> {
     let graph = if attributed { &tensors.fusion } else { &tensors.graph };
+    // Candidate count = vertices clearing γ, i.e. the BFS's admissible
+    // set. Observed here so it also covers validation γ-sweeps; per-query
+    // serving latency is captured by the `serve.bfs` span at call sites.
+    if qdgnn_obs::enabled() {
+        let candidates = scores.iter().filter(|&&s| s >= gamma).count();
+        qdgnn_obs::observe("identify.candidates", candidates as f64);
+    }
     traversal::constrained_bfs(graph, query_vertices, scores, gamma)
 }
 

@@ -66,7 +66,11 @@ impl<'a> OnlineStage<'a> {
             return Err(QdgnnError::AttrOutOfRange { attr: a, d: self.tensors.d });
         }
         let attrs: &[u32] = if self.model.uses_attributes() { &query.attrs } else { &[] };
-        let qv = QueryVectors::try_encode(self.tensors.n, self.tensors.d, &query.vertices, attrs)?;
+        let qv = {
+            let _s = qdgnn_obs::span!("serve.encode");
+            QueryVectors::try_encode(self.tensors.n, self.tensors.d, &query.vertices, attrs)?
+        };
+        let _s = qdgnn_obs::span!("serve.forward");
         Ok(match &self.cache {
             Some(cache) => predict_scores_cached(self.model, self.tensors, cache, &qv),
             None => predict_scores(self.model, self.tensors, &qv),
@@ -90,9 +94,16 @@ impl<'a> OnlineStage<'a> {
     /// Validating variant of [`OnlineStage::query`] for untrusted input:
     /// malformed queries surface as [`QdgnnError`] values, never panics.
     pub fn try_query(&self, query: &Query) -> Result<Vec<VertexId>, QdgnnError> {
+        let _query_span = qdgnn_obs::span!("serve.query");
+        qdgnn_obs::counter("serve.queries").inc();
         let scores = self.try_scores(query)?;
         let attributed = self.model.uses_attributes() && !query.attrs.is_empty();
-        Ok(identify_community(self.tensors, &query.vertices, &scores, self.gamma, attributed))
+        let community = {
+            let _s = qdgnn_obs::span!("serve.bfs");
+            identify_community(self.tensors, &query.vertices, &scores, self.gamma, attributed)
+        };
+        qdgnn_obs::observe("serve.community_size", community.len() as f64);
+        Ok(community)
     }
 
     /// Evaluates the endpoint over a query set (micro metrics).

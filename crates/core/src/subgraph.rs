@@ -150,19 +150,34 @@ pub fn predict_community_subgraph(
     gamma: f32,
     cfg: &SubgraphConfig,
 ) -> Vec<VertexId> {
-    let cand = extract_candidate(graph, fusion, query, model.config(), cfg);
+    let cand = {
+        let _s = qdgnn_obs::span!("serve.extract");
+        extract_candidate(graph, fusion, query, model.config(), cfg)
+    };
+    qdgnn_obs::observe("serve.candidate_vertices", cand.tensors.n as f64);
     predict_on_candidate(model, &cand, gamma)
 }
 
 /// Predicts on an already-extracted candidate (global ids).
 pub fn predict_on_candidate(model: &dyn CsModel, cand: &Candidate, gamma: f32) -> Vec<VertexId> {
-    let qv = encode_query(model, &cand.tensors, &cand.local_query);
-    let scores = predict_scores(model, &cand.tensors, &qv);
+    let _query_span = qdgnn_obs::span!("serve.query");
+    qdgnn_obs::counter("serve.queries").inc();
+    let qv = {
+        let _s = qdgnn_obs::span!("serve.encode");
+        encode_query(model, &cand.tensors, &cand.local_query)
+    };
+    let scores = {
+        let _s = qdgnn_obs::span!("serve.forward");
+        predict_scores(model, &cand.tensors, &qv)
+    };
     let attributed = model.uses_attributes() && !cand.local_query.attrs.is_empty();
-    let local =
-        identify_community(&cand.tensors, &cand.local_query.vertices, &scores, gamma, attributed);
+    let local = {
+        let _s = qdgnn_obs::span!("serve.bfs");
+        identify_community(&cand.tensors, &cand.local_query.vertices, &scores, gamma, attributed)
+    };
     let mut global = cand.map.to_global(&local);
     global.sort_unstable();
+    qdgnn_obs::observe("serve.community_size", global.len() as f64);
     global
 }
 

@@ -120,6 +120,10 @@ pub struct TrainReport {
     pub skipped_steps: usize,
     /// Divergence rollbacks performed (each halves the learning rate).
     pub recoveries: usize,
+    /// Checkpoint writes that failed (training continues in memory; each
+    /// failure is also counted on the `train.checkpoint_write_failures`
+    /// metric). Not carried across resume — counts this run only.
+    pub checkpoint_write_failures: usize,
     /// Whether training stopped early because the rollback budget
     /// ([`TrainConfig::max_recoveries`]) was exhausted. The returned
     /// weights are still the best observed on validation.
@@ -272,6 +276,7 @@ pub(crate) fn run_training_from<M: CsModel>(
     }
     let mut epochs_run = start_epoch;
     let mut diverged = false;
+    let mut checkpoint_write_failures = 0usize;
     // Last known-good state for divergence rollback; starts at the
     // initial (or resumed) state so even an epoch-0 explosion recovers.
     let mut good = (model.checkpoint(), opt.state());
@@ -281,6 +286,7 @@ pub(crate) fn run_training_from<M: CsModel>(
     let mut step_attempts: u64 = 0;
 
     for epoch in start_epoch..cfg.epochs {
+        let _epoch_span = qdgnn_obs::span!("train.epoch_time");
         epochs_run = epoch + 1;
         let order = epoch_order(items.len(), cfg.seed, epoch, recoveries);
         let mut epoch_loss = 0.0f64;
@@ -331,7 +337,16 @@ pub(crate) fn run_training_from<M: CsModel>(
             // moments for good, so drop it instead of applying it.
             if !batch_loss.is_finite() || !grads.all_finite() {
                 skipped_steps += 1;
+                qdgnn_obs::event(
+                    "train.step_skipped",
+                    &[("epoch", epoch as f64), ("batch", batch_no as f64)],
+                );
                 continue;
+            }
+            // Gradient norm is computed only to feed the metric; the
+            // `const` guard folds the whole block away in plain builds.
+            if qdgnn_obs::enabled() {
+                qdgnn_obs::observe("train.grad_norm", grads.global_norm() as f64);
             }
             if let Some(max_norm) = cfg.clip {
                 grads.clip_global_norm(max_norm);
@@ -347,6 +362,12 @@ pub(crate) fn run_training_from<M: CsModel>(
         let mean =
             if counted > 0 { (epoch_loss / counted as f64) as f32 } else { f32::NAN };
         loss_history.push(mean);
+        qdgnn_obs::event(
+            "train.epoch",
+            &[("epoch", epoch as f64), ("loss", mean as f64), ("lr", opt.lr() as f64)],
+        );
+        qdgnn_obs::gauge("train.loss").set(mean as f64);
+        qdgnn_obs::gauge("train.lr").set(opt.lr() as f64);
 
         // Divergence detection: roll back to the last good epoch with a
         // halved learning rate rather than letting a blown-up run burn
@@ -362,6 +383,14 @@ pub(crate) fn run_training_from<M: CsModel>(
             model.restore(&good.0);
             opt.restore_state(good.1.clone());
             opt.set_lr(opt.lr() * 0.5);
+            qdgnn_obs::event(
+                "train.divergence_rollback",
+                &[
+                    ("epoch", epoch as f64),
+                    ("recoveries", recoveries as f64),
+                    ("lr", opt.lr() as f64),
+                ],
+            );
             continue;
         }
         good = (model.checkpoint(), opt.state());
@@ -370,6 +399,10 @@ pub(crate) fn run_training_from<M: CsModel>(
         if is_last || (epoch + 1) % cfg.validate_every == 0 {
             if let Some((gamma, f1)) = validate(&model) {
                 val_history.push((epoch + 1, f1));
+                qdgnn_obs::event(
+                    "train.validate",
+                    &[("epoch", (epoch + 1) as f64), ("f1", f1), ("gamma", gamma as f64)],
+                );
                 if f1 > best.0 {
                     best = (f1, gamma, Some(model.checkpoint()));
                     stale_validations = 0;
@@ -396,9 +429,22 @@ pub(crate) fn run_training_from<M: CsModel>(
                     best: (best.0, best.1, best.2.clone()),
                 };
                 // A failed checkpoint write must not kill training — the
-                // run is still making progress in memory.
-                if let Err(e) = crate::persist::save_train_checkpoint(path, &model, &state) {
-                    eprintln!("warning: checkpoint write to {} failed: {e}", path.display());
+                // run is still making progress in memory. The failure is
+                // counted (metric + report) rather than printed so library
+                // code stays quiet on stderr (QD006); harnesses surface the
+                // count in their end-of-run summary.
+                match crate::persist::save_train_checkpoint(path, &model, &state) {
+                    Ok(()) => {
+                        qdgnn_obs::event("train.checkpoint_write", &[("epoch", (epoch + 1) as f64)]);
+                    }
+                    Err(_) => {
+                        checkpoint_write_failures += 1;
+                        qdgnn_obs::counter("train.checkpoint_write_failures").inc();
+                        qdgnn_obs::event(
+                            "train.checkpoint_write_failed",
+                            &[("epoch", (epoch + 1) as f64)],
+                        );
+                    }
                 }
             }
         }
@@ -416,6 +462,7 @@ pub(crate) fn run_training_from<M: CsModel>(
         train_seconds: start.elapsed().as_secs_f64(),
         skipped_steps,
         recoveries,
+        checkpoint_write_failures,
         diverged,
     };
     TrainedModel { model, gamma: best.1, report }
@@ -614,10 +661,23 @@ pub fn predict_community(
     q: &Query,
     gamma: f32,
 ) -> Vec<VertexId> {
-    let qv = encode_query(model, tensors, q);
-    let scores = predict_scores(model, tensors, &qv);
+    let _query_span = qdgnn_obs::span!("serve.query");
+    qdgnn_obs::counter("serve.queries").inc();
+    let qv = {
+        let _s = qdgnn_obs::span!("serve.encode");
+        encode_query(model, tensors, q)
+    };
+    let scores = {
+        let _s = qdgnn_obs::span!("serve.forward");
+        predict_scores(model, tensors, &qv)
+    };
     let attributed = model.uses_attributes() && !q.attrs.is_empty();
-    identify_community(tensors, &q.vertices, &scores, gamma, attributed)
+    let community = {
+        let _s = qdgnn_obs::span!("serve.bfs");
+        identify_community(tensors, &q.vertices, &scores, gamma, attributed)
+    };
+    qdgnn_obs::observe("serve.community_size", community.len() as f64);
+    community
 }
 
 /// Predicts communities for a whole query set.

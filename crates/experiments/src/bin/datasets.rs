@@ -21,4 +21,5 @@ fn main() {
     let path = run.out_dir.join("table1_datasets.csv");
     table.save_csv(&path).expect("write CSV");
     eprintln!("wrote {}", path.display());
+    run.write_metrics();
 }

@@ -16,4 +16,5 @@ fn main() {
         "wrote {}/extra_adjnorm.csv, extra_fusionagg.csv, extra_complexity.csv",
         run.out_dir.display()
     );
+    run.write_metrics();
 }

@@ -9,4 +9,5 @@ fn main() {
     println!("{b}");
     b.save_csv(run.out_dir.join("fig10b.csv")).expect("write CSV");
     eprintln!("wrote {}/fig10a.csv and fig10b.csv", run.out_dir.display());
+    run.write_metrics();
 }

@@ -9,4 +9,5 @@ fn main() {
     println!("{b}");
     b.save_csv(run.out_dir.join("fig9b.csv")).expect("write CSV");
     eprintln!("wrote {}/fig9a.csv and fig9b.csv", run.out_dir.display());
+    run.write_metrics();
 }

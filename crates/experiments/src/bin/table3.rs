@@ -7,4 +7,5 @@ fn main() {
     let path = run.out_dir.join("table3.csv");
     table.save_csv(&path).expect("write CSV");
     eprintln!("wrote {}", path.display());
+    run.write_metrics();
 }

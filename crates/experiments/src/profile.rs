@@ -102,6 +102,9 @@ pub struct RunConfig {
     pub out_dir: PathBuf,
     /// Optional dataset-name filter (comma-separated, case-insensitive).
     pub dataset_filter: Option<Vec<String>>,
+    /// Write the structured metrics stream (JSONL events + final
+    /// snapshot) to this path at the end of the run.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -111,6 +114,7 @@ impl Default for RunConfig {
             seed: 7,
             out_dir: PathBuf::from("results"),
             dataset_filter: None,
+            metrics_out: None,
         }
     }
 }
@@ -155,10 +159,17 @@ impl RunConfig {
                     );
                     i += 2;
                 }
+                "--metrics-out" => {
+                    cfg.metrics_out = Some(PathBuf::from(need_value(i)));
+                    // Per-span/per-event JSONL only accumulates when a run
+                    // asked for a metrics file; snapshots are always free.
+                    qdgnn_obs::record_events(true);
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <experiment> [--profile fast|std|paper] [--seed N] \
-                         [--out DIR] [--datasets a,b,c]"
+                         [--out DIR] [--datasets a,b,c] [--metrics-out FILE.jsonl]"
                     );
                     std::process::exit(0);
                 }
@@ -178,6 +189,32 @@ impl RunConfig {
             sets.retain(|d| filter.iter().any(|f| d.name.to_lowercase() == *f));
         }
         sets
+    }
+
+    /// End-of-run metrics flush, called by every experiment binary:
+    /// surfaces non-zero failure counters on stderr and, when
+    /// `--metrics-out` was given, writes the JSONL event stream plus the
+    /// final snapshot (the format `qdgnn-obs-validate` checks).
+    pub fn write_metrics(&self) {
+        let snap = qdgnn_obs::snapshot();
+        if let Some(failures) = snap.counter("train.checkpoint_write_failures") {
+            if failures > 0 {
+                eprintln!("warning: {failures} checkpoint write(s) failed during training");
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            match qdgnn_obs::write_jsonl(path) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("warning: metrics write to {} failed: {e}", path.display())
+                }
+            }
+        }
     }
 
     /// Banner line printed at the top of every experiment.

@@ -1,0 +1,166 @@
+//! `qdgnn-obs-validate` — schema checker for `--metrics-out` JSONL files.
+//!
+//! Validates that every line is a well-formed `span`, `event` or
+//! `snapshot` object, that exactly one snapshot is present and that it
+//! is the final line. Exits 0 on success, 1 with a per-line diagnostic
+//! otherwise. Used by the CI obs job.
+
+use std::process::ExitCode;
+
+use qdgnn_obs::json::{self, Value};
+use qdgnn_obs::metrics::MetricsSnapshot;
+
+fn check_span(v: &Value) -> Result<(), String> {
+    v.get("name").and_then(Value::as_str).ok_or("span missing string `name`")?;
+    match v.get("parent") {
+        Some(Value::Null) | Some(Value::Str(_)) => {}
+        _ => return Err("span `parent` must be a string or null".into()),
+    }
+    for key in ["start_us", "dur_us"] {
+        let n = v
+            .get(key)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("span missing numeric `{key}`"))?;
+        if n < 0.0 {
+            return Err(format!("span `{key}` is negative"));
+        }
+    }
+    Ok(())
+}
+
+fn check_event(v: &Value) -> Result<(), String> {
+    v.get("name").and_then(Value::as_str).ok_or("event missing string `name`")?;
+    v.get("t_us").and_then(Value::as_num).ok_or("event missing numeric `t_us`")?;
+    let fields = v.get("fields").and_then(Value::as_obj).ok_or("event missing `fields` object")?;
+    for (k, fv) in fields {
+        if fv.as_num().is_none() {
+            return Err(format!("event field `{k}` is not a number"));
+        }
+    }
+    Ok(())
+}
+
+fn validate(text: &str) -> Result<(usize, usize, MetricsSnapshot), String> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err("file is empty".into());
+    }
+    let mut spans = 0usize;
+    let mut events = 0usize;
+    let mut snapshot = None;
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string `type`"))?;
+        match kind {
+            "span" => {
+                check_span(&v).map_err(|e| format!("line {lineno}: {e}"))?;
+                spans += 1;
+            }
+            "event" => {
+                check_event(&v).map_err(|e| format!("line {lineno}: {e}"))?;
+                events += 1;
+            }
+            "snapshot" => {
+                if snapshot.is_some() {
+                    return Err(format!("line {lineno}: more than one snapshot"));
+                }
+                if i != lines.len() - 1 {
+                    return Err(format!("line {lineno}: snapshot must be the final line"));
+                }
+                snapshot = Some(
+                    MetricsSnapshot::from_json(line)
+                        .map_err(|e| format!("line {lineno}: {e}"))?,
+                );
+            }
+            other => return Err(format!("line {lineno}: unknown type `{other}`")),
+        }
+    }
+    let snapshot = snapshot.ok_or("missing final snapshot line")?;
+    Ok((spans, events, snapshot))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (prom, paths): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| a.as_str() == "--prometheus");
+    if paths.is_empty() {
+        eprintln!("usage: qdgnn-obs-validate [--prometheus] <metrics.jsonl>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match validate(&text) {
+            Ok((spans, events, snap)) => {
+                println!(
+                    "{path}: ok ({spans} spans, {events} events, {} counters, {} histograms)",
+                    snap.counters.len(),
+                    snap.hists.len()
+                );
+                if !prom.is_empty() {
+                    print!("{}", snap.to_prometheus());
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_well_formed_file() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"serve.forward\",\"parent\":null,\"start_us\":1,\"dur_us\":2}\n",
+            "{\"type\":\"event\",\"name\":\"train.epoch\",\"t_us\":5,\"fields\":{\"loss\":0.5}}\n",
+            "{\"type\":\"snapshot\",\"counters\":{},\"gauges\":{},\"histograms\":{}}\n",
+        );
+        let (spans, events, _) = validate(text).unwrap();
+        assert_eq!((spans, events), (1, 1));
+    }
+
+    #[test]
+    fn rejects_missing_snapshot() {
+        let text = "{\"type\":\"event\",\"name\":\"x\",\"t_us\":0,\"fields\":{}}\n";
+        assert!(validate(text).unwrap_err().contains("missing final snapshot"));
+    }
+
+    #[test]
+    fn rejects_snapshot_not_last() {
+        let text = concat!(
+            "{\"type\":\"snapshot\",\"counters\":{},\"gauges\":{},\"histograms\":{}}\n",
+            "{\"type\":\"event\",\"name\":\"x\",\"t_us\":0,\"fields\":{}}\n",
+        );
+        assert!(validate(text).unwrap_err().contains("final line"));
+    }
+
+    #[test]
+    fn rejects_bad_span_fields() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"s\",\"parent\":7,\"start_us\":1,\"dur_us\":2}\n",
+            "{\"type\":\"snapshot\",\"counters\":{},\"gauges\":{},\"histograms\":{}}\n",
+        );
+        assert!(validate(text).unwrap_err().contains("parent"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Time sources for the observability layer.
+//!
+//! All timestamps flow through the [`Clock`] trait so instrumented code
+//! never reads the wall clock directly: production uses a monotonic
+//! clock anchored at registry creation, tests inject a [`FakeClock`]
+//! they advance by hand. This is what keeps instrumented training paths
+//! resume-deterministic (QD004): the metrics layer observes time, the
+//! computation never does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A microsecond time source.
+///
+/// Implementations must be monotonic (never go backwards) within one
+/// process; the absolute origin is unspecified.
+pub trait Clock: Send + Sync {
+    /// Microseconds elapsed since this clock's origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// Production clock: `Instant`-based, anchored at construction.
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Test clock: starts at zero and only moves when told to.
+#[derive(Default)]
+pub struct FakeClock {
+    micros: AtomicU64,
+}
+
+impl FakeClock {
+    /// Creates a fake clock at t = 0 µs.
+    pub fn new() -> Self {
+        FakeClock { micros: AtomicU64::new(0) }
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_micros(&self, us: u64) {
+        self.micros.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute microsecond value.
+    pub fn set_micros(&self, us: u64) {
+        self.micros.store(us, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_moves_only_when_advanced() {
+        let c = FakeClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance_micros(250);
+        assert_eq!(c.now_micros(), 250);
+        c.set_micros(10);
+        assert_eq!(c.now_micros(), 10);
+    }
+}

@@ -1,0 +1,135 @@
+//! The compiled-out mirror of [`crate::registry`]: every public item
+//! exists with the same signature but is a zero-sized no-op, so call
+//! sites never need `cfg` and the optimizer erases the instrumentation
+//! entirely (verified by `tests/overhead.rs`).
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::events::Event;
+use crate::metrics::MetricsSnapshot;
+
+/// Whether the instrumentation layer is compiled in.
+pub const fn is_enabled() -> bool {
+    false
+}
+
+/// No-op (metrics layer compiled out).
+#[inline(always)]
+pub fn set_clock(_clock: Arc<dyn Clock>) {}
+
+/// Always 0 (metrics layer compiled out).
+#[inline(always)]
+pub fn now_micros() -> u64 {
+    0
+}
+
+/// Zero-sized no-op counter handle.
+#[derive(Clone, Copy)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn inc_by(&self, _n: u64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op counter lookup.
+#[inline(always)]
+pub fn counter(_name: &str) -> Counter {
+    Counter
+}
+
+/// Zero-sized no-op gauge handle.
+#[derive(Clone, Copy)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op gauge lookup.
+#[inline(always)]
+pub fn gauge(_name: &str) -> Gauge {
+    Gauge
+}
+
+/// No-op histogram observation.
+#[inline(always)]
+pub fn observe(_name: &str, _v: f64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn record_events(_on: bool) {}
+
+/// Always false.
+#[inline(always)]
+pub fn events_recorded() -> bool {
+    false
+}
+
+/// No-op point event.
+#[inline(always)]
+pub fn event(_name: &str, _fields: &[(&str, f64)]) {}
+
+/// Zero-sized no-op span guard.
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// No-op span entry.
+    #[inline(always)]
+    pub fn enter(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+}
+
+/// Zero-sized no-op op timer.
+pub struct OpTimer;
+
+/// No-op timer.
+#[inline(always)]
+pub fn op_timer(_name: &'static str) -> OpTimer {
+    OpTimer
+}
+
+/// Always empty.
+#[inline(always)]
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::default()
+}
+
+/// Always empty.
+#[inline(always)]
+pub fn take_events() -> Vec<Event> {
+    Vec::new()
+}
+
+/// Writes a single empty snapshot line so the output stays schema-valid
+/// even when the layer is compiled out.
+pub fn write_jsonl(path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, format!("{}\n", MetricsSnapshot::default().to_json()))
+}
+
+/// No-op.
+#[inline(always)]
+pub fn reset() {}

@@ -1,0 +1,123 @@
+//! Structured events: the JSONL stream a profiled run emits.
+//!
+//! Two event shapes, one per JSONL line:
+//!
+//! * `{"type":"span","name":…,"parent":…|null,"start_us":N,"dur_us":N}` —
+//!   one completed scoped timer;
+//! * `{"type":"event","name":…,"t_us":N,"fields":{…}}` — one point-in-time
+//!   occurrence with numeric fields (an epoch finishing, a rollback, a
+//!   checkpoint-write failure).
+//!
+//! A metrics file ends with exactly one
+//! `{"type":"snapshot",…}` line (see [`crate::metrics::MetricsSnapshot`]).
+//! `qdgnn-obs-validate` checks files against exactly this schema.
+
+use crate::json;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A completed span (scoped timer).
+    Span {
+        /// Span name, e.g. `serve.forward`.
+        name: String,
+        /// Name of the enclosing span on the same thread, if any.
+        parent: Option<String>,
+        /// Start timestamp, µs since the registry clock's origin.
+        start_us: u64,
+        /// Duration in µs.
+        dur_us: u64,
+    },
+    /// A point-in-time occurrence with numeric payload fields.
+    Point {
+        /// Event name, e.g. `train.epoch`.
+        name: String,
+        /// Timestamp, µs since the registry clock's origin.
+        t_us: u64,
+        /// Numeric payload, in insertion order.
+        fields: Vec<(String, f64)>,
+    },
+}
+
+impl Event {
+    /// The event's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Span { name, .. } | Event::Point { name, .. } => name,
+        }
+    }
+
+    /// Serializes as one JSONL line.
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::Span { name, parent, start_us, dur_us } => format!(
+                "{{\"type\":\"span\",\"name\":{},\"parent\":{},\"start_us\":{},\"dur_us\":{}}}",
+                json::escape(name),
+                match parent {
+                    Some(p) => json::escape(p),
+                    None => "null".to_string(),
+                },
+                start_us,
+                dur_us
+            ),
+            Event::Point { name, t_us, fields } => {
+                let mut out = format!(
+                    "{{\"type\":\"event\",\"name\":{},\"t_us\":{},\"fields\":{{",
+                    json::escape(name),
+                    t_us
+                );
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
+                }
+                out.push_str("}}");
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    #[test]
+    fn span_event_serializes_to_schema() {
+        let e = Event::Span {
+            name: "serve.forward".into(),
+            parent: Some("serve.query".into()),
+            start_us: 120,
+            dur_us: 35,
+        };
+        let v = parse(&e.to_json()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("span"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("serve.forward"));
+        assert_eq!(v.get("parent").unwrap().as_str(), Some("serve.query"));
+        assert_eq!(v.get("start_us").unwrap().as_num(), Some(120.0));
+        assert_eq!(v.get("dur_us").unwrap().as_num(), Some(35.0));
+    }
+
+    #[test]
+    fn root_span_has_null_parent() {
+        let e = Event::Span { name: "a".into(), parent: None, start_us: 0, dur_us: 1 };
+        let v = parse(&e.to_json()).unwrap();
+        assert_eq!(v.get("parent"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn point_event_serializes_fields() {
+        let e = Event::Point {
+            name: "train.epoch".into(),
+            t_us: 9,
+            fields: vec![("epoch".into(), 3.0), ("loss".into(), 0.5)],
+        };
+        let v = parse(&e.to_json()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("event"));
+        let fields = v.get("fields").unwrap().as_obj().unwrap();
+        assert_eq!(fields["epoch"].as_num(), Some(3.0));
+        assert_eq!(fields["loss"].as_num(), Some(0.5));
+    }
+}

@@ -1,0 +1,500 @@
+//! Metric primitives and snapshots.
+//!
+//! Three metric kinds, all lock-free to record once created:
+//!
+//! * **counters** — monotonically increasing `u64`s;
+//! * **gauges** — last-write-wins `f64`s (stored as bit patterns);
+//! * **histograms** — fixed log₂ buckets over non-negative values with
+//!   exact count/sum/min/max and bucket-interpolated p50/p95/p99.
+//!
+//! A [`MetricsSnapshot`] is the point-in-time export type: it serializes
+//! to a single JSONL line (`{"type":"snapshot",…}`) and to a
+//! Prometheus-style text exposition, and parses back from the JSONL form
+//! for round-trip tests and schema validation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::{self, Value};
+
+/// Number of log₂ buckets; the last bucket is the +∞ overflow.
+pub const NUM_BUCKETS: usize = 40;
+
+/// Upper bound (inclusive) of bucket `i`: `2^i`, except the last bucket
+/// which is unbounded.
+fn bucket_upper(i: usize) -> f64 {
+    2f64.powi(i as i32)
+}
+
+/// A fixed-bucket histogram over non-negative f64 samples.
+///
+/// Buckets are `[0,1], (1,2], (2,4], … (2^38, 2^39], (2^39, ∞)`; for
+/// latency metrics the unit is microseconds, so the range spans 1 µs to
+/// ~9 minutes before overflowing. Recording is wait-free per bucket;
+/// `sum`/`min`/`max` use CAS loops.
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    /// Sum of samples, as f64 bits.
+    sum_bits: AtomicU64,
+    /// Minimum sample, as f64 bits (f64::INFINITY when empty).
+    min_bits: AtomicU64,
+    /// Maximum sample, as f64 bits (f64::NEG_INFINITY when empty).
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if v <= 1.0 {
+            0
+        } else {
+            (v.log2().ceil() as usize).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample (negative and non-finite samples clamp to 0).
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_min(&self.min_bits, v);
+        atomic_f64_max(&self.max_bits, v);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots this histogram under `name`.
+    pub fn snapshot(&self, name: &str) -> HistSnapshot {
+        let buckets: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let mut snap = HistSnapshot {
+            name: name.to_string(),
+            count,
+            sum,
+            min: if count == 0 { 0.0 } else { min },
+            max: if count == 0 { 0.0 } else { max },
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            buckets,
+        };
+        snap.p50 = snap.quantile(0.50);
+        snap.p95 = snap.quantile(0.95);
+        snap.p99 = snap.quantile(0.99);
+        snap
+    }
+}
+
+fn atomic_f64_add(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn atomic_f64_min(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn atomic_f64_max(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while v > f64::from_bits(cur) {
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: f64,
+    /// Exact minimum sample (0 when empty).
+    pub min: f64,
+    /// Exact maximum sample (0 when empty).
+    pub max: f64,
+    /// Bucket-interpolated median.
+    pub p50: f64,
+    /// Bucket-interpolated 95th percentile.
+    pub p95: f64,
+    /// Bucket-interpolated 99th percentile.
+    pub p99: f64,
+    /// Per-bucket counts (see [`Histogram`] for bounds).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates quantile `q` (0..=1) by linear interpolation within the
+    /// target bucket, clamped to the exact observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let lo = if i == 0 { 0.0 } else { bucket_upper(i - 1) };
+                let hi = bucket_upper(i.min(NUM_BUCKETS - 2));
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let est = lo + frac * (hi - lo);
+                return est.clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+}
+
+/// Point-in-time export of the whole registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots, sorted by name.
+    pub hists: Vec<HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Serializes as one JSONL line: `{"type":"snapshot",…}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"type\":\"snapshot\",\"counters\":{");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::escape(n), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::escape(n), json::num(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
+                json::escape(&h.name),
+                h.count,
+                json::num(h.sum),
+                json::num(h.min),
+                json::num(h.max),
+                json::num(h.p50),
+                json::num(h.p95),
+                json::num(h.p99),
+                h.buckets
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses the JSONL form back (inverse of [`MetricsSnapshot::to_json`]
+    /// up to f64 formatting).
+    pub fn from_json(line: &str) -> Result<MetricsSnapshot, String> {
+        let v = json::parse(line)?;
+        if v.get("type").and_then(Value::as_str) != Some("snapshot") {
+            return Err("not a snapshot line".into());
+        }
+        let mut snap = MetricsSnapshot::default();
+        let counters = v.get("counters").and_then(Value::as_obj).ok_or("missing counters")?;
+        for (name, val) in counters {
+            let n = val.as_num().ok_or_else(|| format!("counter `{name}` not a number"))?;
+            snap.counters.push((name.clone(), n as u64));
+        }
+        let gauges = v.get("gauges").and_then(Value::as_obj).ok_or("missing gauges")?;
+        for (name, val) in gauges {
+            let n = val.as_num().ok_or_else(|| format!("gauge `{name}` not a number"))?;
+            snap.gauges.push((name.clone(), n));
+        }
+        let hists = v.get("histograms").and_then(Value::as_obj).ok_or("missing histograms")?;
+        for (name, val) in hists {
+            let field = |k: &str| -> Result<f64, String> {
+                val.get(k)
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("histogram `{name}` missing `{k}`"))
+            };
+            let buckets = val
+                .get("buckets")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("histogram `{name}` missing `buckets`"))?
+                .iter()
+                .map(|b| b.as_num().map(|n| n as u64).ok_or("bucket not a number"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            snap.hists.push(HistSnapshot {
+                name: name.clone(),
+                count: field("count")? as u64,
+                sum: field("sum")?,
+                min: field("min")?,
+                max: field("max")?,
+                p50: field("p50")?,
+                p95: field("p95")?,
+                p99: field("p99")?,
+                buckets,
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Prometheus-style text exposition (metric names have `.` mapped to
+    /// `_` and a `qdgnn_` prefix; histograms expose `_count`, `_sum` and
+    /// cumulative `_bucket{le=…}` series).
+    pub fn to_prometheus(&self) -> String {
+        fn prom_name(name: &str) -> String {
+            let mut out = String::from("qdgnn_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", json::num(*v)));
+        }
+        for h in &self.hists {
+            let n = prom_name(&h.name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                cum += c;
+                // Skip long runs of empty high buckets for readability;
+                // always emit buckets that carry data and the +Inf bound.
+                if c == 0 && i != 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cum}\n",
+                    if i == NUM_BUCKETS - 1 {
+                        "+Inf".to_string()
+                    } else {
+                        json::num(bucket_upper(i))
+                    }
+                ));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n", json::num(h.sum)));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: impl IntoIterator<Item = f64>) -> HistSnapshot {
+        let h = Histogram::new();
+        for v in values {
+            h.observe(v);
+        }
+        h.snapshot("test")
+    }
+
+    #[test]
+    fn quantiles_of_uniform_distribution() {
+        // 1..=1000 uniform: interpolation within log2 buckets recovers
+        // quantiles to within a few percent because the distribution is
+        // uniform within each bucket.
+        let s = filled((1..=1000).map(|i| i as f64));
+        assert_eq!(s.count, 1000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        assert!((s.p50 - 500.0).abs() / 500.0 < 0.05, "p50={}", s.p50);
+        assert!((s.p95 - 950.0).abs() / 950.0 < 0.05, "p95={}", s.p95);
+        assert!((s.p99 - 990.0).abs() / 990.0 < 0.05, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn quantiles_of_point_mass() {
+        let s = filled(std::iter::repeat(42.0).take(100));
+        // Every sample in one bucket, clamped to exact min/max.
+        assert!((s.p50 - 42.0).abs() < 1e-9, "p50={}", s.p50);
+        assert!((s.p99 - 42.0).abs() < 1e-9, "p99={}", s.p99);
+        assert!((s.min - 42.0).abs() < 1e-9);
+        assert!((s.max - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_of_bimodal_distribution() {
+        // 90 fast samples at ~10, 10 slow at ~10000: p50 must sit in the
+        // fast mode, p95+ in the slow one.
+        let s = filled(
+            (0..90).map(|_| 10.0).chain((0..10).map(|_| 10_000.0)),
+        );
+        assert!(s.p50 <= 16.0, "p50={}", s.p50);
+        assert!(s.p95 >= 5_000.0, "p95={}", s.p95);
+        assert!(s.p99 >= 5_000.0, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = filled([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn negative_and_nonfinite_samples_clamp_to_zero() {
+        let s = filled([-5.0, f64::NAN, f64::INFINITY, 8.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.max - 8.0).abs() < 1e-9);
+        assert!(s.min.abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let h = Histogram::new();
+        for v in [3.0, 700.0, 12.5] {
+            h.observe(v);
+        }
+        let snap = MetricsSnapshot {
+            counters: vec![("serve.queries".into(), 17)],
+            gauges: vec![("train.loss".into(), 0.125)],
+            hists: vec![h.snapshot("serve.forward")],
+        };
+        let line = snap.to_json();
+        let back = MetricsSnapshot::from_json(&line).unwrap();
+        assert_eq!(back.counter("serve.queries"), Some(17));
+        assert_eq!(back.gauge("train.loss"), Some(0.125));
+        let hb = back.hist("serve.forward").unwrap();
+        let ha = snap.hist("serve.forward").unwrap();
+        assert_eq!(hb.count, ha.count);
+        assert_eq!(hb.buckets, ha.buckets);
+        assert!((hb.sum - ha.sum).abs() < 1e-9);
+        assert!((hb.p95 - ha.p95).abs() < 1e-9);
+        // Full-struct equality up to the sort order from_json normalizes to.
+        assert_eq!(back.to_json(), line);
+    }
+
+    #[test]
+    fn from_json_rejects_non_snapshot_lines() {
+        assert!(MetricsSnapshot::from_json("{\"type\":\"span\"}").is_err());
+        assert!(MetricsSnapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_all_series() {
+        let h = Histogram::new();
+        h.observe(100.0);
+        let snap = MetricsSnapshot {
+            counters: vec![("serve.queries".into(), 2)],
+            gauges: vec![("train.lr".into(), 1e-3)],
+            hists: vec![h.snapshot("serve.bfs")],
+        };
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE qdgnn_serve_queries counter"));
+        assert!(text.contains("qdgnn_serve_queries 2"));
+        assert!(text.contains("# TYPE qdgnn_train_lr gauge"));
+        assert!(text.contains("# TYPE qdgnn_serve_bfs histogram"));
+        assert!(text.contains("qdgnn_serve_bfs_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("qdgnn_serve_bfs_count 1"));
+    }
+
+    #[test]
+    fn concurrent_observes_lose_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let h = std::sync::Arc::clone(&h);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..10_000 {
+                    h.observe((t * 10_000 + i) as f64 % 977.0);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        let s = h.snapshot("c");
+        assert_eq!(s.buckets.iter().sum::<u64>(), 40_000);
+    }
+}

@@ -1,0 +1,416 @@
+//! The live (feature `enabled`) implementation of the global registry:
+//! named metric storage, the span stack, the event log and the injected
+//! clock. The `disabled` sibling module mirrors every public item as a
+//! zero-sized no-op.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::events::Event;
+use crate::metrics::{Histogram, MetricsSnapshot};
+
+/// Hard cap on buffered events: a runaway instrumented loop must not be
+/// able to exhaust memory. Overflow is counted and surfaced in the
+/// snapshot as the `obs.events_dropped` counter.
+const MAX_EVENTS: usize = 1 << 20;
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    clock: RwLock<Arc<dyn Clock>>,
+    events: Mutex<Vec<Event>>,
+    events_dropped: AtomicU64,
+    record_events: AtomicBool,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        hists: Mutex::new(BTreeMap::new()),
+        clock: RwLock::new(Arc::new(MonotonicClock::new())),
+        events: Mutex::new(Vec::new()),
+        events_dropped: AtomicU64::new(0),
+        record_events: AtomicBool::new(false),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Metric state stays usable even if a panicking thread held the lock.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+thread_local! {
+    /// Stack of active span names on this thread (for parent linkage).
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether the instrumentation layer is compiled in.
+pub const fn is_enabled() -> bool {
+    true
+}
+
+/// Injects the clock all timestamps come from (tests pass a
+/// [`crate::clock::FakeClock`]). Affects spans started after the call.
+pub fn set_clock(clock: Arc<dyn Clock>) {
+    *registry().clock.write().unwrap_or_else(|p| p.into_inner()) = clock;
+}
+
+/// Current registry time in µs.
+pub fn now_micros() -> u64 {
+    registry().clock.read().unwrap_or_else(|p| p.into_inner()).now_micros()
+}
+
+/// Handle to a named counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Returns (creating on first use) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut map = lock(&registry().counters);
+    if let Some(c) = map.get(name) {
+        return Counter(Arc::clone(c));
+    }
+    let c = Arc::new(AtomicU64::new(0));
+    map.insert(name.to_string(), Arc::clone(&c));
+    Counter(c)
+}
+
+/// Handle to a named gauge (last-write-wins f64).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Returns (creating on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = lock(&registry().gauges);
+    if let Some(g) = map.get(name) {
+        return Gauge(Arc::clone(g));
+    }
+    let g = Arc::new(AtomicU64::new(0f64.to_bits()));
+    map.insert(name.to_string(), Arc::clone(&g));
+    Gauge(g)
+}
+
+fn hist(name: &str) -> Arc<Histogram> {
+    let mut map = lock(&registry().hists);
+    if let Some(h) = map.get(name) {
+        return Arc::clone(h);
+    }
+    let h = Arc::new(Histogram::new());
+    map.insert(name.to_string(), Arc::clone(&h));
+    h
+}
+
+/// Records one sample into the histogram named `name`.
+pub fn observe(name: &str, v: f64) {
+    hist(name).observe(v);
+}
+
+/// Turns event buffering on or off (off by default: histograms and
+/// counters always record; the per-event JSONL stream only accumulates
+/// when a run asked for it, e.g. via `--metrics-out`).
+pub fn record_events(on: bool) {
+    registry().record_events.store(on, Ordering::SeqCst);
+}
+
+/// Whether event buffering is on.
+pub fn events_recorded() -> bool {
+    registry().record_events.load(Ordering::SeqCst)
+}
+
+fn push_event(e: Event) {
+    let reg = registry();
+    let mut events = lock(&reg.events);
+    if events.len() >= MAX_EVENTS {
+        reg.events_dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    events.push(e);
+}
+
+/// Records a point event with numeric fields (no-op unless event
+/// buffering is on; the companion counter `name` always increments).
+pub fn event(name: &str, fields: &[(&str, f64)]) {
+    counter(name).inc();
+    if !events_recorded() {
+        return;
+    }
+    push_event(Event::Point {
+        name: name.to_string(),
+        t_us: now_micros(),
+        fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    });
+}
+
+/// RAII scoped timer: measures from construction to drop, records the
+/// duration (µs) into the histogram named after the span, and — when
+/// event buffering is on — emits a span event carrying its parent span
+/// on the same thread. Construct via [`crate::span!`].
+pub struct SpanGuard {
+    name: &'static str,
+    start_us: u64,
+    parent: Option<&'static str>,
+    /// Spans are thread-scoped (TLS parent stack): keep the guard !Send.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Starts a span. Prefer the [`crate::span!`] macro.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(name);
+            parent
+        });
+        SpanGuard { name, start_us: now_micros(), parent, _not_send: PhantomData }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = now_micros();
+        let dur = end.saturating_sub(self.start_us);
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        observe(self.name, dur as f64);
+        if events_recorded() {
+            push_event(Event::Span {
+                name: self.name.to_string(),
+                parent: self.parent.map(str::to_string),
+                start_us: self.start_us,
+                dur_us: dur,
+            });
+        }
+    }
+}
+
+/// Histogram-only scoped timer for very hot sites (tensor ops): no TLS
+/// parent tracking, never emits events.
+pub struct OpTimer {
+    name: &'static str,
+    start_us: u64,
+}
+
+/// Starts a histogram-only timer named `name`.
+pub fn op_timer(name: &'static str) -> OpTimer {
+    OpTimer { name, start_us: now_micros() }
+}
+
+impl Drop for OpTimer {
+    fn drop(&mut self) {
+        let dur = now_micros().saturating_sub(self.start_us);
+        observe(self.name, dur as f64);
+    }
+}
+
+/// Snapshots every metric in the registry (sorted by name).
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let counters = lock(&reg.counters)
+        .iter()
+        .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+        .collect::<Vec<_>>();
+    let mut counters = counters;
+    let dropped = reg.events_dropped.load(Ordering::Relaxed);
+    if dropped > 0 {
+        counters.push(("obs.events_dropped".to_string(), dropped));
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    let gauges = lock(&reg.gauges)
+        .iter()
+        .map(|(n, g)| (n.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+        .collect();
+    let hists =
+        lock(&reg.hists).iter().map(|(n, h)| h.snapshot(n)).collect();
+    MetricsSnapshot { counters, gauges, hists }
+}
+
+/// Drains and returns all buffered events.
+pub fn take_events() -> Vec<Event> {
+    std::mem::take(&mut *lock(&registry().events))
+}
+
+/// Writes the buffered events (draining them) followed by one snapshot
+/// line to `path` as JSONL — the `--metrics-out` format.
+pub fn write_jsonl(path: impl AsRef<Path>) -> io::Result<()> {
+    let mut out = io::BufWriter::new(std::fs::File::create(path)?);
+    for e in take_events() {
+        writeln!(out, "{}", e.to_json())?;
+    }
+    writeln!(out, "{}", snapshot().to_json())?;
+    out.flush()
+}
+
+/// Clears all metrics, events and the event-drop count, and resets the
+/// clock to a fresh monotonic one. For tests and multi-phase benches.
+pub fn reset() {
+    let reg = registry();
+    lock(&reg.counters).clear();
+    lock(&reg.gauges).clear();
+    lock(&reg.hists).clear();
+    lock(&reg.events).clear();
+    reg.events_dropped.store(0, Ordering::SeqCst);
+    reg.record_events.store(false, Ordering::SeqCst);
+    set_clock(Arc::new(MonotonicClock::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    /// Registry state is global; tests in this module serialize on one
+    /// lock so their metric names never interleave.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let _l = test_lock();
+        reset();
+        counter("t.reg.counter").inc();
+        counter("t.reg.counter").inc_by(4);
+        gauge("t.reg.gauge").set(2.5);
+        let s = snapshot();
+        assert_eq!(s.counter("t.reg.counter"), Some(5));
+        assert_eq!(s.gauge("t.reg.gauge"), Some(2.5));
+    }
+
+    #[test]
+    fn spans_use_injected_clock_and_nest() {
+        let _l = test_lock();
+        reset();
+        let clock = Arc::new(FakeClock::new());
+        set_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        record_events(true);
+        {
+            let _outer = crate::span!("t.reg.outer");
+            clock.advance_micros(10);
+            {
+                let _inner = crate::span!("t.reg.inner");
+                clock.advance_micros(30);
+            }
+            clock.advance_micros(5);
+        }
+        let events = take_events();
+        assert_eq!(events.len(), 2, "{events:?}");
+        // Inner drops first.
+        match &events[0] {
+            Event::Span { name, parent, start_us, dur_us } => {
+                assert_eq!(name, "t.reg.inner");
+                assert_eq!(parent.as_deref(), Some("t.reg.outer"));
+                assert_eq!(*start_us, 10);
+                assert_eq!(*dur_us, 30);
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        match &events[1] {
+            Event::Span { name, parent, dur_us, .. } => {
+                assert_eq!(name, "t.reg.outer");
+                assert!(parent.is_none());
+                assert_eq!(*dur_us, 45);
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        let s = snapshot();
+        assert_eq!(s.hist("t.reg.inner").unwrap().count, 1);
+        assert!((s.hist("t.reg.inner").unwrap().max - 30.0).abs() < 1e-9);
+        reset();
+    }
+
+    #[test]
+    fn events_only_buffer_when_recording() {
+        let _l = test_lock();
+        reset();
+        event("t.reg.quiet", &[("x", 1.0)]);
+        assert!(take_events().is_empty());
+        // The companion counter still counted.
+        assert_eq!(snapshot().counter("t.reg.quiet"), Some(1));
+        record_events(true);
+        event("t.reg.loud", &[("x", 2.0)]);
+        let events = take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name(), "t.reg.loud");
+        reset();
+    }
+
+    #[test]
+    fn op_timer_records_histogram_without_events() {
+        let _l = test_lock();
+        reset();
+        record_events(true);
+        let clock = Arc::new(FakeClock::new());
+        set_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        {
+            let _t = op_timer("t.reg.op");
+            clock.advance_micros(7);
+        }
+        assert!(take_events().is_empty(), "op timers must not emit events");
+        let s = snapshot();
+        assert_eq!(s.hist("t.reg.op").unwrap().count, 1);
+        assert!((s.hist("t.reg.op").unwrap().max - 7.0).abs() < 1e-9);
+        reset();
+    }
+
+    #[test]
+    fn write_jsonl_emits_events_then_snapshot() {
+        let _l = test_lock();
+        reset();
+        record_events(true);
+        event("t.reg.file", &[("k", 3.0)]);
+        counter("t.reg.filec").inc();
+        let dir = std::env::temp_dir().join(format!("qdgnn-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"type\":\"event\""));
+        let snap = MetricsSnapshot::from_json(lines[1]).unwrap();
+        assert_eq!(snap.counter("t.reg.filec"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+        reset();
+    }
+}

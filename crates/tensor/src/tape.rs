@@ -198,6 +198,7 @@ impl Tape {
 
     /// Dense product `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.matmul");
         let v = self.val(a).matmul(self.val(b));
         self.push(v, Op::Matmul { a: a.0, b: b.0 })
     }
@@ -207,6 +208,7 @@ impl Tape {
     /// `mt` must be the transpose of `m` (precompute once per graph with
     /// [`Csr::transpose`] and reuse across queries/epochs).
     pub fn spmm(&mut self, m: &Arc<Csr>, mt: &Arc<Csr>, b: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.spmm");
         crate::sanitize_assert!(
             m.rows() == mt.cols() && m.cols() == mt.rows(),
             "spmm: mt ({}x{}) is not the transpose of m ({}x{})",
@@ -221,30 +223,35 @@ impl Tape {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.add");
         let v = self.val(a).add(self.val(b));
         self.push(v, Op::Add { a: a.0, b: b.0 })
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.sub");
         let v = self.val(a).sub(self.val(b));
         self.push(v, Op::Sub { a: a.0, b: b.0 })
     }
 
     /// Elementwise product.
     pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.hadamard");
         let v = self.val(a).hadamard(self.val(b));
         self.push(v, Op::Hadamard { a: a.0, b: b.0 })
     }
 
     /// Adds row vector `r` (1×c) to every row of `a` (bias add).
     pub fn add_row(&mut self, a: Var, r: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.add_row");
         let v = ops::add_row_broadcast(self.val(a), self.val(r));
         self.push(v, Op::AddRow { a: a.0, r: r.0 })
     }
 
     /// Multiplies every row of `a` by row vector `r` (1×c).
     pub fn mul_row(&mut self, a: Var, r: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.mul_row");
         let v = ops::mul_row_broadcast(self.val(a), self.val(r));
         self.push(v, Op::MulRow { a: a.0, r: r.0 })
     }
@@ -252,48 +259,56 @@ impl Tape {
     /// Multiplies row `i` of `a` by the scalar `c[i]` (`c` is n×1) —
     /// per-vertex gating for attention fusion.
     pub fn mul_col(&mut self, a: Var, c: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.mul_col");
         let v = ops::mul_col_broadcast(self.val(a), self.val(c));
         self.push(v, Op::MulCol { a: a.0, c: c.0 })
     }
 
     /// Column means (n×c → 1×c).
     pub fn col_mean(&mut self, a: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.col_mean");
         let v = self.val(a).col_means();
         self.push(v, Op::ColMean { a: a.0 })
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.relu");
         let v = self.val(a).map(|x| x.max(0.0));
         self.push(v, Op::Relu { a: a.0 })
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.sigmoid");
         let v = self.val(a).map(ops::sigmoid);
         self.push(v, Op::Sigmoid { a: a.0 })
     }
 
     /// Elementwise scaling by constant `k`.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.scale");
         let v = self.val(a).scaled(k);
         self.push(v, Op::Scale { a: a.0, k })
     }
 
     /// Elementwise addition of constant `k`.
     pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.add_scalar");
         let v = self.val(a).map(|x| x + k);
         self.push(v, Op::AddScalar { a: a.0 })
     }
 
     /// Elementwise reciprocal square root (inputs must be positive).
     pub fn rsqrt(&mut self, a: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.rsqrt");
         let v = self.val(a).map(|x| 1.0 / x.sqrt());
         self.push(v, Op::Rsqrt { a: a.0 })
     }
 
     /// Horizontal concatenation (Feature Fusion's `AGG = Concatenation`).
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.concat_cols");
         let mats: Vec<&Dense> = parts.iter().map(|p| &*self.nodes[p.0].value).collect();
         let v = Dense::concat_cols(&mats);
         self.push(v, Op::ConcatCols { parts: parts.iter().map(|p| p.0).collect() })
@@ -301,6 +316,7 @@ impl Tape {
 
     /// Mean over all elements, as a 1×1 matrix.
     pub fn mean_all(&mut self, a: Var) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.mean_all");
         let v = Dense::from_vec(1, 1, vec![self.val(a).mean()]);
         self.push(v, Op::MeanAll { a: a.0 })
     }
@@ -313,6 +329,7 @@ impl Tape {
         target: Arc<Dense>,
         weights: Option<Arc<Dense>>,
     ) -> Var {
+        let _t = qdgnn_obs::op_timer("tensor.bce_with_logits");
         let loss = ops::bce_with_logits_mean(self.val(a), &target, weights.as_deref());
         let v = Dense::from_vec(1, 1, vec![loss]);
         self.push(v, Op::BceWithLogitsMean { a: a.0, target, weights })
@@ -329,6 +346,7 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not a 1×1 value.
     pub fn backward(&self, loss: Var) -> Gradients {
+        let _t = qdgnn_obs::op_timer("tensor.backward");
         assert_eq!(self.shape(loss), (1, 1), "backward seed must be a scalar");
         let mut grads: Vec<Option<Dense>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.index()] = Some(Dense::from_vec(1, 1, vec![1.0]));

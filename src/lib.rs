@@ -48,12 +48,14 @@
 //! | Synthetic datasets + queries | `qdgnn-data` | [`data`] |
 //! | The paper's models + framework | `qdgnn-core` | [`core`] |
 //! | CTC / k-ECC / ACQ / ATC / ICS-GNN | `qdgnn-baselines` | [`baselines`] |
+//! | Tracing + metrics (feature `obs`) | `qdgnn-obs` | [`obs`] |
 
 pub use qdgnn_baselines as baselines;
 pub use qdgnn_core as core;
 pub use qdgnn_data as data;
 pub use qdgnn_graph as graph;
 pub use qdgnn_nn as nn;
+pub use qdgnn_obs as obs;
 pub use qdgnn_tensor as tensor;
 
 /// The most common imports for working with the library.
