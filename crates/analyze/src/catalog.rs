@@ -77,7 +77,8 @@ pub const RULES: &[Rule] = &[
         rationale: "Crash-resume is bit-identical only if training replays the \
                     same arithmetic; SystemTime::now / from_entropy / \
                     thread_rng in train.rs or tape.rs breaks the guarantee. \
-                    Instant::now is allowed (wall-clock reporting only).",
+                    Instant::now cannot break replay, so it is QD007's \
+                    problem (injectable wall clock), not QD004's.",
         enforced_paths: &[
             "crates/core/src/train.rs",
             "crates/tensor/src/tape.rs",
@@ -107,6 +108,25 @@ pub const RULES: &[Rule] = &[
                     through qdgnn-obs events/counters (e.g. the \
                     train.checkpoint_write_failures counter) or typed errors. \
                     Test modules are exempt.",
+        enforced_paths: &[
+            "crates/core/src/",
+            "crates/tensor/src/",
+            "crates/nn/src/",
+            "crates/graph/src/",
+        ],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD007",
+        summary: "no raw Instant::now() in library code",
+        rationale: "Wall timing reported by the library (train_seconds, \
+                    interactive seconds_per_round, query timing) must read \
+                    the injectable qdgnn-obs wall clock \
+                    (qdgnn_obs::clock::wall_micros) so fake-clock tests can \
+                    pin every duration; a raw Instant::now() call is \
+                    untestable dead time. The obs crate's MonotonicClock is \
+                    the one sanctioned caller and is exempt by path. Test \
+                    modules are exempt.",
         enforced_paths: &[
             "crates/core/src/",
             "crates/tensor/src/",

@@ -1,4 +1,4 @@
-//! The lint rules (QD001–QD006).
+//! The lint rules (QD001–QD007).
 //!
 //! Each rule is a pure function from scanned [`SourceFile`]s to
 //! [`Finding`]s; suppression handling and ordering live in
@@ -275,7 +275,8 @@ fn op_variants(sf: &SourceFile) -> Vec<(String, u32)> {
 const QD004_PATHS: &[&str] = &["crates/core/src/train.rs", "crates/tensor/src/tape.rs"];
 
 /// Identifiers that introduce nondeterminism. `Instant::now` is
-/// deliberately absent: it only feeds wall-clock reporting.
+/// deliberately absent here: it cannot break replay determinism, but
+/// QD007 bans it on library paths anyway so wall timing stays injectable.
 const QD004_BANNED: &[&str] = &["SystemTime", "thread_rng", "from_entropy"];
 
 /// QD004: no wall-clock time or entropy-seeded RNG on paths covered by
@@ -434,6 +435,51 @@ pub fn qd006(sf: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// Library crates where raw `Instant::now()` is banned outside tests:
+/// wall timing there must flow through the injectable qdgnn-obs clock
+/// (`qdgnn_obs::clock::wall_micros()` or a `Clock` handle) so fake-clock
+/// tests can pin every reported duration. The obs crate itself is exempt
+/// by omission — its `MonotonicClock` is the one sanctioned caller.
+const QD007_CRATES: &[&str] = &[
+    "crates/core/src/",
+    "crates/tensor/src/",
+    "crates/nn/src/",
+    "crates/graph/src/",
+];
+
+/// QD007: no raw `Instant::now()` on library paths (core, tensor, nn,
+/// graph) outside tests.
+pub fn qd007(sf: &SourceFile) -> Vec<Finding> {
+    if !QD007_CRATES.iter().any(|p| sf.path.contains(p)) {
+        return Vec::new();
+    }
+    let toks = &sf.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident || t.text != "Instant" {
+            continue;
+        }
+        // Call site only: `Instant` followed by `::` `now`. Bare type
+        // mentions (struct fields, imports) stay legal so `Instant`-typed
+        // plumbing can exist where the value itself is injected.
+        if toks.get(i + 1).is_some_and(|n| n.text == "::")
+            && toks.get(i + 2).is_some_and(|n| n.text == "now")
+        {
+            out.push(finding(
+                "QD007",
+                sf,
+                t.line,
+                "`Instant::now()` in library code — read the injectable obs wall \
+                 clock (`qdgnn_obs::clock::wall_micros()`) so fake-clock tests \
+                 can pin this timing"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 /// Runs every per-file rule on one source file.
 pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     let mut out = qd001(sf);
@@ -441,6 +487,7 @@ pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     out.extend(qd004(sf));
     out.extend(qd005(sf));
     out.extend(qd006(sf));
+    out.extend(qd007(sf));
     out
 }
 
@@ -694,6 +741,49 @@ mod tests {
             "fn main() { println!(\"table\"); eprintln!(\"banner\"); }\n",
         );
         assert!(qd006(&sf).is_empty());
+    }
+
+    // ---- QD007 ----
+
+    #[test]
+    fn qd007_bad_instant_now_in_library_code() {
+        let sf = scan(
+            "crates/core/src/interactive.rs",
+            "use std::time::Instant;\nfn f() -> u64 {\n    let t = Instant::now();\n    std::time::Instant::now().elapsed().as_micros() as u64 + t.elapsed().as_micros() as u64\n}\n",
+        );
+        let f = qd007(&sf);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "QD007"));
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("wall_micros"));
+    }
+
+    #[test]
+    fn qd007_good_injected_clock_and_tests() {
+        let sf = scan(
+            "crates/core/src/train.rs",
+            r#"
+// Instant::now() in a comment is fine
+fn f() -> u64 {
+    qdgnn_obs::clock::wall_micros()
+}
+struct Holder { at: std::time::Instant }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = std::time::Instant::now(); }
+}
+"#,
+        );
+        assert!(qd007(&sf).is_empty(), "{:?}", qd007(&sf));
+    }
+
+    #[test]
+    fn qd007_not_enforced_outside_library_crates() {
+        for path in ["crates/obs/src/clock.rs", "crates/experiments/src/bin/table2.rs"] {
+            let sf = scan(path, "fn f() { let _ = std::time::Instant::now(); }\n");
+            assert!(qd007(&sf).is_empty(), "{path} should be exempt");
+        }
     }
 
     #[test]

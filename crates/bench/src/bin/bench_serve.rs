@@ -1,107 +1,182 @@
-//! `qdgnn-bench` — serving-latency benchmark with per-stage breakdown.
+//! `qdgnn-bench` — serving-latency benchmark and regression gate.
 //!
-//! Trains a bench-scale AQD-GNN per Fast-profile dataset, serves every
-//! test query through [`qdgnn_core::OnlineStage`] under the obs layer,
-//! and writes `BENCH_serve.json`: per-dataset p50/p95 serve latency plus
-//! the encode / forward / BFS stage breakdown. The checked-in copy at
-//! the repo root is the reference point for serving-perf regressions.
+//! Subcommands:
 //!
 //! ```text
-//! cargo run --release -p qdgnn-bench --bin qdgnn-bench [-- OUT.json]
+//! qdgnn-bench [serve] [--out OUT.json] [--metrics-out M.jsonl]
+//!     Train a bench-scale AQD-GNN per Fast-profile dataset, serve every
+//!     test query through qdgnn_core::OnlineStage under the obs layer,
+//!     and write the BENCH_serve.json report (p50/p95 serve latency plus
+//!     the encode / forward / BFS stage breakdown). The checked-in copy
+//!     at the repo root is the serving-perf regression baseline.
+//!
+//! qdgnn-bench compare [--baseline-serve P] [--baseline-train P]
+//!                     [--serve-rounds N] [--train-rounds N]
+//!                     [--skip-train] [--metrics-out M.jsonl]
+//!     Re-measure and gate against the checked-in baselines with the
+//!     noise-tolerant best-round thresholds from qdgnn_bench::gate
+//!     (warn > ×1.10, fail > ×1.25). Exits nonzero on FAIL.
 //! ```
+//!
+//! A bare positional argument is accepted as the serve output path for
+//! backward compatibility (`qdgnn-bench out.json`).
 
-use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-use qdgnn_bench::{bench_model_config, bench_train_config, bench_queries};
-use qdgnn_core::models::AqdGnn;
-use qdgnn_core::{GraphTensors, OnlineStage, Trainer};
-use qdgnn_data::AttrMode;
+use qdgnn_bench::gate::{self, Verdict};
+use qdgnn_bench::measure::{measure_serve, measure_train, EventLog};
+use qdgnn_bench::report::{ServeReport, TrainBenchReport};
 
-/// Serve rounds per query: repeats tighten the histogram without
-/// letting the benchmark run long.
-const ROUNDS: usize = 5;
-
-fn hist_json(out: &mut String, snap: &qdgnn_obs::metrics::MetricsSnapshot, name: &str) {
-    let (p50, p95, mean) = snap
-        .hist(name)
-        .map(|h| (h.p50, h.p95, h.mean()))
-        .unwrap_or((0.0, 0.0, 0.0));
-    let _ = write!(
-        out,
-        "{{\"p50_us\":{},\"p95_us\":{},\"mean_us\":{}}}",
-        qdgnn_obs::json::num(p50),
-        qdgnn_obs::json::num(p95),
-        qdgnn_obs::json::num(mean)
-    );
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("qdgnn-bench: {msg}");
+    ExitCode::from(2)
 }
 
-fn main() {
+fn main() -> ExitCode {
     assert!(
         qdgnn_obs::enabled(),
         "qdgnn-bench needs the obs layer; build with default features"
     );
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
-    let datasets = [
-        qdgnn_data::presets::fb_414(),
-        qdgnn_data::presets::fb_686(),
-        qdgnn_data::presets::cornell(),
-        qdgnn_data::presets::texas(),
-    ];
-
-    let mut body = String::from("{\n  \"bench\": \"serve\",\n  \"rounds_per_query\": ");
-    let _ = write!(body, "{ROUNDS},\n  \"datasets\": {{\n");
-    for (di, dataset) in datasets.iter().enumerate() {
-        eprintln!("[qdgnn-bench] {}: training...", dataset.name);
-        let mc = bench_model_config();
-        let tensors = GraphTensors::new(&dataset.graph, mc.adj_norm, mc.fusion_graph_attr_cap);
-        let split = bench_queries(dataset, AttrMode::FromCommunity, 1, 3);
-        let trained = Trainer::new(bench_train_config()).train(
-            AqdGnn::new(mc, tensors.d),
-            &tensors,
-            &split.train,
-            &split.val,
-        );
-        // Measure serving only: drop everything training recorded.
-        qdgnn_obs::reset();
-        let stage = OnlineStage::new(&trained.model, &tensors, trained.gamma);
-        for _ in 0..ROUNDS {
-            for q in &split.test {
-                let _ = stage.try_query(q).expect("bench query must be valid");
-            }
-        }
-        let snap = qdgnn_obs::snapshot();
-        let served = snap.counter("serve.queries").unwrap_or(0);
-        eprintln!(
-            "[qdgnn-bench] {}: served {served} queries, p50 {:.0}us p95 {:.0}us",
-            dataset.name,
-            snap.hist("serve.query").map(|h| h.p50).unwrap_or(0.0),
-            snap.hist("serve.query").map(|h| h.p95).unwrap_or(0.0),
-        );
-        let _ = write!(body, "    {}: {{\n", qdgnn_obs::json::escape(&dataset.name));
-        let _ = write!(body, "      \"queries_served\": {served},\n");
-        for (key, metric) in [
-            ("serve", "serve.query"),
-            ("encode", "serve.encode"),
-            ("forward", "serve.forward"),
-            ("bfs", "serve.bfs"),
-        ] {
-            let _ = write!(body, "      \"{key}\": ");
-            hist_json(&mut body, &snap, metric);
-            body.push_str(",\n");
-        }
-        let _ = write!(
-            body,
-            "      \"community_size_mean\": {}\n    }}{}\n",
-            qdgnn_obs::json::num(
-                snap.hist("serve.community_size").map(|h| h.mean()).unwrap_or(0.0)
-            ),
-            if di + 1 == datasets.len() { "" } else { "," }
-        );
-        qdgnn_obs::reset();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => compare_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
+        _ => serve_main(&args),
     }
-    body.push_str("  }\n}\n");
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut metrics_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return fail("--out needs a path"),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(PathBuf::from(v)),
+                None => return fail("--metrics-out needs a path"),
+            },
+            flag if flag.starts_with('-') => {
+                return fail(&format!("unknown serve flag `{flag}`"))
+            }
+            // Legacy positional output path.
+            path => out = PathBuf::from(path),
+        }
+    }
+
+    let mut log = EventLog::new(metrics_out);
+    let report = measure_serve(1, &mut log)
+        .into_iter()
+        .next()
+        .expect("one measurement round");
+    let body = report.to_json();
     // Self-check: the report must stay machine-readable.
     qdgnn_obs::json::parse(&body).expect("generated report is valid JSON");
-    std::fs::write(&out_path, &body).expect("write benchmark report");
-    eprintln!("[qdgnn-bench] wrote {out_path}");
+    std::fs::write(&out, &body).expect("write benchmark report");
+    eprintln!("[qdgnn-bench] wrote {}", out.display());
+    if finish_log(log) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn compare_main(args: &[String]) -> ExitCode {
+    let mut baseline_serve = PathBuf::from("BENCH_serve.json");
+    let mut baseline_train = PathBuf::from("BENCH_train.json");
+    let mut serve_rounds = 3usize;
+    let mut train_rounds = 2usize;
+    let mut skip_train = false;
+    let mut metrics_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline-serve" => match it.next() {
+                Some(v) => baseline_serve = PathBuf::from(v),
+                None => return fail("--baseline-serve needs a path"),
+            },
+            "--baseline-train" => match it.next() {
+                Some(v) => baseline_train = PathBuf::from(v),
+                None => return fail("--baseline-train needs a path"),
+            },
+            "--serve-rounds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => serve_rounds = n,
+                _ => return fail("--serve-rounds needs a positive integer"),
+            },
+            "--train-rounds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => train_rounds = n,
+                _ => return fail("--train-rounds needs a positive integer"),
+            },
+            "--skip-train" => skip_train = true,
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(PathBuf::from(v)),
+                None => return fail("--metrics-out needs a path"),
+            },
+            flag => return fail(&format!("unknown compare flag `{flag}`")),
+        }
+    }
+
+    let serve_base = match std::fs::read_to_string(&baseline_serve)
+        .map_err(|e| e.to_string())
+        .and_then(|t| ServeReport::from_json(&t))
+    {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("baseline {}: {e}", baseline_serve.display())),
+    };
+    let train_base = if skip_train {
+        None
+    } else {
+        match std::fs::read_to_string(&baseline_train)
+            .map_err(|e| e.to_string())
+            .and_then(|t| TrainBenchReport::from_json(&t))
+        {
+            Ok(b) => Some(b),
+            Err(e) => return fail(&format!("baseline {}: {e}", baseline_train.display())),
+        }
+    };
+
+    let mut log = EventLog::new(metrics_out);
+    let mut comparisons =
+        gate::compare_serve(&serve_base, &measure_serve(serve_rounds, &mut log));
+    if let Some(train_base) = &train_base {
+        comparisons
+            .extend(gate::compare_train(train_base, &measure_train(train_rounds, &mut log)));
+    }
+
+    println!("qdgnn-bench compare: {serve_rounds} serve round(s), {} train round(s)", if skip_train { 0 } else { train_rounds });
+    for c in &comparisons {
+        println!("  {}", c.line());
+    }
+    let verdict = gate::overall(&comparisons);
+    println!(
+        "overall: {} (warn > x{}, fail > x{})",
+        verdict.tag(),
+        gate::WARN_RATIO,
+        gate::FAIL_RATIO
+    );
+    let log_ok = finish_log(log);
+    match verdict {
+        Verdict::Fail => ExitCode::FAILURE,
+        _ if !log_ok => ExitCode::from(2),
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+/// Flushes the `--metrics-out` log. Returns false on an IO error.
+fn finish_log(log: EventLog) -> bool {
+    match log.write() {
+        Ok(Some(path)) => {
+            eprintln!("[qdgnn-bench] wrote {}", path.display());
+            true
+        }
+        Ok(None) => true,
+        Err(e) => {
+            eprintln!("qdgnn-bench: metrics write failed: {e}");
+            false
+        }
+    }
 }

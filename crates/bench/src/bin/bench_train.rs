@@ -1,0 +1,68 @@
+//! `qdgnn-bench-train` — training-throughput benchmark.
+//!
+//! Trains a bench-scale AQD-GNN from scratch per Fast-profile dataset
+//! and writes `BENCH_train.json`: epochs/sec (wall clock) and the peak
+//! live tensor bytes reported by the obs memory accounting. The
+//! checked-in copy at the repo root is the training-perf regression
+//! baseline `qdgnn-bench compare` gates against.
+//!
+//! ```text
+//! cargo run --release -p qdgnn-bench --bin qdgnn-bench-train \
+//!     [-- --out OUT.json] [--metrics-out M.jsonl]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qdgnn_bench::measure::{measure_train, EventLog};
+
+fn main() -> ExitCode {
+    assert!(
+        qdgnn_obs::enabled(),
+        "qdgnn-bench-train needs the obs layer; build with default features"
+    );
+    let mut out = PathBuf::from("BENCH_train.json");
+    let mut metrics_out = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage("--out needs a path"),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(PathBuf::from(v)),
+                None => return usage("--metrics-out needs a path"),
+            },
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown flag `{flag}`"))
+            }
+            path => out = PathBuf::from(path),
+        }
+    }
+
+    let mut log = EventLog::new(metrics_out);
+    let report = measure_train(1, &mut log)
+        .into_iter()
+        .next()
+        .expect("one measurement round");
+    let body = report.to_json();
+    // Self-check: the report must stay machine-readable.
+    qdgnn_obs::json::parse(&body).expect("generated report is valid JSON");
+    std::fs::write(&out, &body).expect("write benchmark report");
+    eprintln!("[qdgnn-bench-train] wrote {}", out.display());
+    match log.write() {
+        Ok(Some(path)) => {
+            eprintln!("[qdgnn-bench-train] wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => usage(&format!("metrics write failed: {e}")),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("qdgnn-bench-train: {msg}");
+    ExitCode::from(2)
+}

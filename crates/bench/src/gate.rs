@@ -1,0 +1,240 @@
+//! Noise-tolerant benchmark regression gating.
+//!
+//! `qdgnn-bench compare` re-measures serving latency and training
+//! throughput several times and compares the *best* round per metric
+//! against the checked-in baselines: a regression is flagged only when
+//! every round is bad, so one noisy round (CI neighbors, thermal
+//! throttling) cannot fail the gate while a real regression — which is
+//! bad in all rounds — still does. Ratios above [`WARN_RATIO`] warn,
+//! above [`FAIL_RATIO`] fail the gate (nonzero exit).
+
+use crate::report::{ServeReport, TrainBenchReport};
+
+/// Best-round ratio above this fails the gate.
+pub const FAIL_RATIO: f64 = 1.25;
+/// Best-round ratio above this (but at most [`FAIL_RATIO`]) warns.
+pub const WARN_RATIO: f64 = 1.10;
+
+/// Outcome of one gated metric (ordered by severity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Within the noise band.
+    Pass,
+    /// Above the warn threshold; reported but not fatal.
+    Warn,
+    /// Above the fail threshold in every round.
+    Fail,
+}
+
+impl Verdict {
+    /// Short uppercase tag for report lines.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Verdict::Pass => "PASS",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+        }
+    }
+}
+
+/// One gated metric: baseline, best measured round, and the verdict.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Metric label, e.g. `FB-414 serve.p95_us`.
+    pub metric: String,
+    /// Checked-in baseline value.
+    pub baseline: f64,
+    /// Best (least regressed) measured value across rounds.
+    pub best: f64,
+    /// Regression ratio (1.0 = at baseline, >1.0 = worse).
+    pub ratio: f64,
+    /// The verdict for this metric.
+    pub verdict: Verdict,
+}
+
+impl Comparison {
+    /// One human-readable report line.
+    pub fn line(&self) -> String {
+        format!(
+            "{} {:<28} baseline {:>12.2}  best {:>12.2}  ratio {:.3}",
+            self.verdict.tag(),
+            self.metric,
+            self.baseline,
+            self.best,
+            self.ratio
+        )
+    }
+}
+
+fn judge(ratio: f64) -> Verdict {
+    if ratio > FAIL_RATIO {
+        Verdict::Fail
+    } else if ratio > WARN_RATIO {
+        Verdict::Warn
+    } else {
+        Verdict::Pass
+    }
+}
+
+/// Gates a lower-is-better metric (latency, peak bytes): the best round
+/// is the minimum, and the ratio is `best / baseline`. A non-positive
+/// baseline passes (nothing meaningful to compare against); an empty
+/// round set fails (the metric vanished from the measurement).
+pub fn judge_lower_is_better(metric: String, baseline: f64, rounds: &[f64]) -> Comparison {
+    let best = rounds.iter().copied().fold(f64::INFINITY, f64::min);
+    let (ratio, verdict) = if rounds.is_empty() {
+        (f64::INFINITY, Verdict::Fail)
+    } else if baseline <= 0.0 {
+        (1.0, Verdict::Pass)
+    } else {
+        let r = best / baseline;
+        (r, judge(r))
+    };
+    Comparison { metric, baseline, best, ratio, verdict }
+}
+
+/// Gates a higher-is-better metric (throughput): the best round is the
+/// maximum, and the ratio is `baseline / best`. A non-positive baseline
+/// passes; an empty round set or a non-positive best fails.
+pub fn judge_higher_is_better(metric: String, baseline: f64, rounds: &[f64]) -> Comparison {
+    let best = rounds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let (ratio, verdict) = if rounds.is_empty() {
+        (f64::INFINITY, Verdict::Fail)
+    } else if baseline <= 0.0 {
+        (1.0, Verdict::Pass)
+    } else if best <= 0.0 {
+        (f64::INFINITY, Verdict::Fail)
+    } else {
+        let r = baseline / best;
+        (r, judge(r))
+    };
+    Comparison { metric, baseline, best, ratio, verdict }
+}
+
+/// Gates every baseline dataset's serve p95 against the measured rounds.
+pub fn compare_serve(baseline: &ServeReport, rounds: &[ServeReport]) -> Vec<Comparison> {
+    baseline
+        .datasets
+        .iter()
+        .map(|(name, base)| {
+            let vals: Vec<f64> =
+                rounds.iter().filter_map(|r| r.get(name)).map(|d| d.serve.p95_us).collect();
+            judge_lower_is_better(format!("{name} serve.p95_us"), base.serve.p95_us, &vals)
+        })
+        .collect()
+}
+
+/// Gates every baseline dataset's training throughput and peak live
+/// bytes against the measured rounds.
+pub fn compare_train(baseline: &TrainBenchReport, rounds: &[TrainBenchReport]) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for (name, base) in &baseline.datasets {
+        let eps: Vec<f64> =
+            rounds.iter().filter_map(|r| r.get(name)).map(|d| d.epochs_per_sec).collect();
+        out.push(judge_higher_is_better(
+            format!("{name} train.epochs_per_sec"),
+            base.epochs_per_sec,
+            &eps,
+        ));
+        let peaks: Vec<f64> =
+            rounds.iter().filter_map(|r| r.get(name)).map(|d| d.peak_live_bytes as f64).collect();
+        out.push(judge_lower_is_better(
+            format!("{name} train.peak_live_bytes"),
+            base.peak_live_bytes as f64,
+            &peaks,
+        ));
+    }
+    out
+}
+
+/// Worst verdict across all gated metrics (`Pass` when empty).
+pub fn overall(comparisons: &[Comparison]) -> Verdict {
+    comparisons.iter().map(|c| c.verdict).max().unwrap_or(Verdict::Pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::{Path, PathBuf};
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+    }
+
+    #[test]
+    fn best_round_tolerates_one_noisy_round() {
+        let c = judge_lower_is_better("m".into(), 100.0, &[180.0, 104.0, 131.0]);
+        assert_eq!(c.verdict, Verdict::Pass, "{c:?}");
+        assert!((c.best - 104.0).abs() < 1e-12);
+        let c = judge_lower_is_better("m".into(), 100.0, &[180.0, 140.0, 131.0]);
+        assert_eq!(c.verdict, Verdict::Fail, "all rounds above ×1.25 must fail");
+        let c = judge_lower_is_better("m".into(), 100.0, &[118.0, 140.0]);
+        assert_eq!(c.verdict, Verdict::Warn, "warn band is (×1.10, ×1.25]");
+    }
+
+    #[test]
+    fn throughput_ratio_is_inverted() {
+        let c = judge_higher_is_better("eps".into(), 10.0, &[9.5, 4.0]);
+        assert_eq!(c.verdict, Verdict::Pass, "{c:?}");
+        let c = judge_higher_is_better("eps".into(), 10.0, &[7.0, 6.0]);
+        assert_eq!(c.verdict, Verdict::Fail);
+        let c = judge_higher_is_better("eps".into(), 10.0, &[0.0]);
+        assert_eq!(c.verdict, Verdict::Fail, "zero throughput is a broken run");
+    }
+
+    #[test]
+    fn degenerate_baselines_pass_missing_metrics_fail() {
+        assert_eq!(judge_lower_is_better("m".into(), 0.0, &[5.0]).verdict, Verdict::Pass);
+        assert_eq!(judge_higher_is_better("m".into(), 0.0, &[5.0]).verdict, Verdict::Pass);
+        assert_eq!(judge_lower_is_better("m".into(), 5.0, &[]).verdict, Verdict::Fail);
+        assert_eq!(overall(&[]), Verdict::Pass);
+    }
+
+    /// The acceptance contract: the checked-in serve baseline gates a
+    /// re-measurement of itself as PASS, and the same measurement fails
+    /// against a baseline whose p95 budget is scaled down ×4.
+    #[test]
+    fn checked_in_serve_baseline_gates_itself_and_fails_scaled() {
+        let text = std::fs::read_to_string(repo_root().join("BENCH_serve.json"))
+            .expect("checked-in BENCH_serve.json");
+        let baseline = ServeReport::from_json(&text).expect("baseline parses");
+        assert!(!baseline.datasets.is_empty());
+
+        let comps = compare_serve(&baseline, std::slice::from_ref(&baseline));
+        assert_eq!(comps.len(), baseline.datasets.len());
+        assert_eq!(overall(&comps), Verdict::Pass, "{comps:?}");
+
+        let mut scaled = baseline.clone();
+        for (_, d) in &mut scaled.datasets {
+            d.serve.p95_us /= 4.0;
+        }
+        let comps = compare_serve(&scaled, std::slice::from_ref(&baseline));
+        assert!(
+            comps.iter().all(|c| c.verdict == Verdict::Fail),
+            "×4 over a scaled-down baseline must fail every dataset: {comps:?}"
+        );
+        assert_eq!(overall(&comps), Verdict::Fail);
+    }
+
+    /// Same contract for the checked-in training baseline.
+    #[test]
+    fn checked_in_train_baseline_gates_itself_and_fails_scaled() {
+        let text = std::fs::read_to_string(repo_root().join("BENCH_train.json"))
+            .expect("checked-in BENCH_train.json");
+        let baseline = TrainBenchReport::from_json(&text).expect("baseline parses");
+        assert!(!baseline.datasets.is_empty());
+
+        let comps = compare_train(&baseline, std::slice::from_ref(&baseline));
+        assert_eq!(overall(&comps), Verdict::Pass, "{comps:?}");
+
+        let mut scaled = baseline.clone();
+        for (_, d) in &mut scaled.datasets {
+            d.epochs_per_sec *= 4.0;
+        }
+        let comps = compare_train(&scaled, std::slice::from_ref(&baseline));
+        assert!(
+            comps.iter().any(|c| c.verdict == Verdict::Fail),
+            "×4 throughput shortfall must fail: {comps:?}"
+        );
+    }
+}

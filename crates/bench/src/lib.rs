@@ -13,6 +13,10 @@
 //! paths: training epochs, online inference, constrained BFS,
 //! decompositions and baseline searches.
 
+pub mod gate;
+pub mod measure;
+pub mod report;
+
 use qdgnn_core::config::ModelConfig;
 use qdgnn_core::models::{AqdGnn, QdGnn};
 use qdgnn_core::train::{TrainConfig, TrainedModel, Trainer};

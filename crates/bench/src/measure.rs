@@ -1,0 +1,194 @@
+//! Shared measurement driving for the `qdgnn-bench` binaries.
+//!
+//! Both the one-shot report writers (`qdgnn-bench serve`,
+//! `qdgnn-bench-train`) and the regression gate (`qdgnn-bench compare`)
+//! run the same measurement loops; the gate just asks for several
+//! rounds. Expensive setup (dataset load, model training for the serve
+//! bench) happens once per dataset and is shared across rounds, so a
+//! 3-round compare costs far less than three full bench runs.
+
+use std::io;
+use std::path::PathBuf;
+
+use qdgnn_core::models::AqdGnn;
+use qdgnn_core::{GraphTensors, OnlineStage, Trainer};
+use qdgnn_data::{AttrMode, Dataset};
+use qdgnn_obs::events::Event;
+use qdgnn_obs::metrics::MetricsSnapshot;
+
+use crate::report::{HistStats, ServeDataset, ServeReport, TrainBenchReport, TrainDataset};
+use crate::{bench_model_config, bench_queries, bench_train_config};
+
+/// Serve repetitions per query inside one measurement round.
+pub const SERVE_ROUNDS_PER_QUERY: usize = 5;
+
+/// The bench dataset suite (Fast-profile scale).
+pub fn bench_datasets() -> Vec<Dataset> {
+    vec![
+        qdgnn_data::presets::fb_414(),
+        qdgnn_data::presets::fb_686(),
+        qdgnn_data::presets::cornell(),
+        qdgnn_data::presets::texas(),
+    ]
+}
+
+/// `--metrics-out` accumulator that survives the per-phase registry
+/// resets the measurements need: events are drained into this buffer
+/// before every reset, and [`EventLog::write`] emits them followed by
+/// one final snapshot line — the JSONL shape `qdgnn-obs-validate`
+/// checks. With no path configured every method is a no-op.
+pub struct EventLog {
+    path: Option<PathBuf>,
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Starts the log; event buffering turns on only when `path` is set.
+    pub fn new(path: Option<PathBuf>) -> Self {
+        if path.is_some() {
+            qdgnn_obs::record_events(true);
+        }
+        EventLog { path, events: Vec::new() }
+    }
+
+    /// Drains buffered registry events, resets the registry, and re-arms
+    /// event buffering (a plain `qdgnn_obs::reset()` turns it off).
+    pub fn reset(&mut self) {
+        if self.path.is_some() {
+            self.events.extend(qdgnn_obs::take_events());
+        }
+        qdgnn_obs::reset();
+        if self.path.is_some() {
+            qdgnn_obs::record_events(true);
+        }
+    }
+
+    /// Writes the accumulated event stream plus one final snapshot line.
+    /// No-op (Ok) when no path was configured.
+    pub fn write(mut self) -> io::Result<Option<PathBuf>> {
+        let Some(path) = self.path.take() else { return Ok(None) };
+        self.events.extend(qdgnn_obs::take_events());
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out.push_str(&qdgnn_obs::snapshot().to_json());
+        out.push('\n');
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&path, out)?;
+        Ok(Some(path))
+    }
+}
+
+fn hist_stats(snap: &MetricsSnapshot, name: &str) -> HistStats {
+    snap.hist(name)
+        .map(|h| HistStats { p50_us: h.p50, p95_us: h.p95, mean_us: h.mean() })
+        .unwrap_or_default()
+}
+
+/// Runs the serving benchmark `measure_rounds` times, returning one
+/// [`ServeReport`] per round. Training happens once per dataset; each
+/// round then serves every test query [`SERVE_ROUNDS_PER_QUERY`] times
+/// against a freshly reset registry.
+pub fn measure_serve(measure_rounds: usize, log: &mut EventLog) -> Vec<ServeReport> {
+    let mut rounds: Vec<ServeReport> = (0..measure_rounds)
+        .map(|_| ServeReport {
+            rounds_per_query: SERVE_ROUNDS_PER_QUERY as u64,
+            datasets: Vec::new(),
+        })
+        .collect();
+    for dataset in bench_datasets() {
+        eprintln!("[qdgnn-bench] {}: training...", dataset.name);
+        let mc = bench_model_config();
+        let tensors = GraphTensors::new(&dataset.graph, mc.adj_norm, mc.fusion_graph_attr_cap);
+        let split = bench_queries(&dataset, AttrMode::FromCommunity, 1, 3);
+        let trained = Trainer::new(bench_train_config()).train(
+            AqdGnn::new(mc, tensors.d),
+            &tensors,
+            &split.train,
+            &split.val,
+        );
+        // Measure serving only: drop everything training recorded.
+        log.reset();
+        let stage = OnlineStage::new(&trained.model, &tensors, trained.gamma);
+        for round in rounds.iter_mut() {
+            for _ in 0..SERVE_ROUNDS_PER_QUERY {
+                for q in &split.test {
+                    let _ = stage.try_query(q).expect("bench query must be valid");
+                }
+            }
+            let snap = qdgnn_obs::snapshot();
+            eprintln!(
+                "[qdgnn-bench] {}: served {} queries, p50 {:.0}us p95 {:.0}us",
+                dataset.name,
+                snap.counter("serve.queries").unwrap_or(0),
+                snap.hist("serve.query").map(|h| h.p50).unwrap_or(0.0),
+                snap.hist("serve.query").map(|h| h.p95).unwrap_or(0.0),
+            );
+            round.datasets.push((
+                dataset.name.clone(),
+                ServeDataset {
+                    queries_served: snap.counter("serve.queries").unwrap_or(0),
+                    serve: hist_stats(&snap, "serve.query"),
+                    encode: hist_stats(&snap, "serve.encode"),
+                    forward: hist_stats(&snap, "serve.forward"),
+                    bfs: hist_stats(&snap, "serve.bfs"),
+                    community_size_mean: snap
+                        .hist("serve.community_size")
+                        .map(|h| h.mean())
+                        .unwrap_or(0.0),
+                },
+            ));
+            log.reset();
+        }
+    }
+    rounds
+}
+
+/// Runs the training benchmark `measure_rounds` times, returning one
+/// [`TrainBenchReport`] per round. Each round trains a bench-scale
+/// AQD-GNN from scratch per dataset and records epochs/sec (the obs
+/// wall clock behind `train_seconds`) and the peak live tensor bytes
+/// (the obs memory accounting's high watermark over the run).
+pub fn measure_train(measure_rounds: usize, log: &mut EventLog) -> Vec<TrainBenchReport> {
+    let mut rounds: Vec<TrainBenchReport> =
+        (0..measure_rounds).map(|_| TrainBenchReport::default()).collect();
+    for dataset in bench_datasets() {
+        let mc = bench_model_config();
+        let tensors = GraphTensors::new(&dataset.graph, mc.adj_norm, mc.fusion_graph_attr_cap);
+        let split = bench_queries(&dataset, AttrMode::FromCommunity, 1, 3);
+        for round in rounds.iter_mut() {
+            // Peak restarts at the current live total, so the watermark
+            // below is "live before training + training's own buffers".
+            log.reset();
+            let trained = Trainer::new(bench_train_config()).train(
+                AqdGnn::new(bench_model_config(), tensors.d),
+                &tensors,
+                &split.train,
+                &split.val,
+            );
+            let peak = qdgnn_obs::mem_peak_bytes();
+            let epochs = trained.report.epochs_run as u64;
+            let eps = if trained.report.train_seconds > 0.0 {
+                epochs as f64 / trained.report.train_seconds
+            } else {
+                0.0
+            };
+            eprintln!(
+                "[qdgnn-bench] {}: {} epochs at {:.2} epochs/s, peak {} live bytes",
+                dataset.name, epochs, eps, peak
+            );
+            round.datasets.push((
+                dataset.name.clone(),
+                TrainDataset { epochs, epochs_per_sec: eps, peak_live_bytes: peak },
+            ));
+        }
+    }
+    log.reset();
+    rounds
+}

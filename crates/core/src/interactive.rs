@@ -12,8 +12,6 @@
 //! implements it for per-query-trained GCN (ICS-GNN) and this crate for
 //! any pre-trained [`CsModel`].
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -137,7 +135,8 @@ pub fn run_interactive(
     use rand::seq::SliceRandom;
 
     for round in 0..cfg.rounds {
-        let start = Instant::now();
+        // Per-round wall timing via the injectable obs clock (QD007).
+        let start_us = qdgnn_obs::clock::wall_micros();
         // 1. Candidate subgraph around the current query vertices.
         let candidate_vertices =
             candidate_by_bfs(graph.graph(), &current.vertices, cfg.candidate_size);
@@ -160,7 +159,8 @@ pub fn run_interactive(
         let local_comm = select_k_by_scores(sub.graph(), &local_query.vertices, &scores, k);
         community = map.to_global(&local_comm);
         community.sort_unstable();
-        seconds.push(start.elapsed().as_secs_f64());
+        seconds
+            .push(qdgnn_obs::clock::wall_micros().saturating_sub(start_us) as f64 / 1e6);
         f1_per_round.push(f1_score(&community, &query.truth));
 
         // 4. Simulated feedback: reveal missing ground-truth members.
@@ -313,6 +313,49 @@ mod tests {
         assert_eq!(outcome.f1_per_round.len(), 3);
         assert!(outcome.final_f1() >= outcome.f1_per_round[0] - 0.25);
         assert!(!outcome.community.is_empty());
+    }
+
+    #[test]
+    fn fake_clock_pins_seconds_per_round() {
+        use qdgnn_obs::clock::{self, FakeClock, MonotonicClock};
+        use std::sync::Arc;
+
+        // Scorer that advances the injected wall clock by exactly 1ms per
+        // scoring call, so per-round timing is deterministic.
+        struct TickingScorer {
+            clock: Arc<FakeClock>,
+        }
+        impl SubgraphScorer for TickingScorer {
+            fn label(&self) -> String {
+                "ticking".to_string()
+            }
+            fn score_subgraph(
+                &self,
+                sub: &AttributedGraph,
+                _tensors: &GraphTensors,
+                _query: &Query,
+                _seed: u64,
+            ) -> Vec<f32> {
+                self.clock.advance_micros(1_000);
+                vec![0.5; sub.num_vertices()]
+            }
+        }
+
+        let fake = Arc::new(FakeClock::new());
+        clock::set_wall(fake.clone());
+        let data = presets::toy();
+        let query = Query { vertices: vec![0], attrs: vec![], truth: vec![0, 1, 2] };
+        let cfg = InteractiveConfig { rounds: 3, ..Default::default() };
+        let outcome =
+            run_interactive(&data.graph, &TickingScorer { clock: fake }, &query, &cfg, 7);
+        // `reset()` is a no-op without the `enabled` feature, so restore
+        // the monotonic wall clock by hand.
+        clock::set_wall(Arc::new(MonotonicClock::new()));
+
+        assert_eq!(outcome.seconds_per_round.len(), 3);
+        for s in &outcome.seconds_per_round {
+            assert!((s - 0.001).abs() < 1e-12, "round took {s}s on the fake clock");
+        }
     }
 
     #[test]

@@ -10,7 +10,6 @@
 //! best-performing weights/γ (the paper selects both on validation).
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -237,7 +236,9 @@ pub(crate) fn run_training_from<M: CsModel>(
     resume: Option<ResumeState>,
 ) -> TrainedModel<M> {
     assert!(!items.is_empty(), "training set must be non-empty");
-    let start = Instant::now();
+    // Wall-clock reporting goes through the injectable obs clock (QD007)
+    // so fake-clock tests cover `train_seconds` too.
+    let start_us = qdgnn_obs::clock::wall_micros();
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     } else {
@@ -459,7 +460,7 @@ pub(crate) fn run_training_from<M: CsModel>(
         best_gamma: best.1,
         loss_history,
         val_history,
-        train_seconds: start.elapsed().as_secs_f64(),
+        train_seconds: qdgnn_obs::clock::wall_micros().saturating_sub(start_us) as f64 / 1e6,
         skipped_steps,
         recoveries,
         checkpoint_write_failures,

@@ -1,8 +1,6 @@
 //! Shared experiment plumbing: dataset preparation, model training
 //! wrappers, query timing.
 
-use std::time::Instant;
-
 use qdgnn_core::models::{AqdGnn, QdGnn, SimpleQdGnn};
 use qdgnn_core::train::{predict_communities, TrainedModel, Trainer};
 use qdgnn_core::{CsModel, GraphTensors};
@@ -105,11 +103,14 @@ pub fn time_queries(
     mut f: impl FnMut(&Query) -> Vec<VertexId>,
 ) -> (f64, Vec<Vec<VertexId>>) {
     let mut predictions = Vec::with_capacity(queries.len());
-    let start = Instant::now();
+    // Injectable obs wall clock, not Instant (QD007): fake-clock tests
+    // can pin these timings.
+    let start_us = qdgnn_obs::clock::wall_micros();
     for q in queries {
         predictions.push(f(q));
     }
-    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let total_ms =
+        qdgnn_obs::clock::wall_micros().saturating_sub(start_us) as f64 / 1e3;
     (total_ms / queries.len().max(1) as f64, predictions)
 }
 
@@ -143,5 +144,26 @@ mod tests {
         assert_eq!(preds.len(), 3);
         assert!(avg_ms >= 0.0);
         assert!((micro_f1(&preds, &queries) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_queries_on_fake_clock_is_exact() {
+        use qdgnn_obs::clock::{self, FakeClock, MonotonicClock};
+        use std::sync::Arc;
+
+        let fake = Arc::new(FakeClock::new());
+        clock::set_wall(fake.clone());
+        let queries: Vec<Query> = (0..4)
+            .map(|i| Query { vertices: vec![i], attrs: vec![], truth: vec![i] })
+            .collect();
+        let (avg_ms, preds) = time_queries(&queries, |q| {
+            fake.advance_micros(2_000);
+            q.vertices.clone()
+        });
+        // `reset()` is a no-op without the `enabled` feature, so restore
+        // the monotonic wall clock by hand.
+        clock::set_wall(Arc::new(MonotonicClock::new()));
+        assert_eq!(preds.len(), 4);
+        assert!((avg_ms - 2.0).abs() < 1e-12, "avg {avg_ms}ms on the fake clock");
     }
 }

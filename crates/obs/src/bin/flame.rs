@@ -1,0 +1,126 @@
+//! `qdgnn-obs-flame` — converts a `--metrics-out` JSONL trace into
+//! collapsed-stack "folded" text for flamegraph tools (inferno's
+//! `inferno-flamegraph`, speedscope, `flamegraph.pl`):
+//!
+//! ```sh
+//! cargo run --release --bin table4 -- --profile fast --metrics-out run.jsonl
+//! cargo run -p qdgnn-obs --bin qdgnn-obs-flame run.jsonl > run.folded
+//! inferno-flamegraph < run.folded > run.svg   # any folded-stack consumer
+//! ```
+//!
+//! `--self-time` (default) writes flamegraph-standard exclusive times;
+//! `--total-time` writes inclusive durations per stack instead (a
+//! ranked where-does-time-accumulate listing — do not feed it to a
+//! flamegraph renderer, parents already contain their children).
+//! Exits 0 on success, 1 on unreadable input, malformed span lines or a
+//! trace with no spans (run the producer with `--metrics-out`).
+
+use std::process::ExitCode;
+
+use qdgnn_obs::events::Event;
+use qdgnn_obs::folded::{build_forest, to_folded, Mode};
+use qdgnn_obs::json::{self, Value};
+
+/// Extracts the span events from JSONL text, ignoring point-event and
+/// snapshot lines; errors on lines that are not valid JSONL at all or
+/// claim `"type":"span"` but do not parse as one.
+fn spans_from_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("span") => spans
+                .push(Event::from_json(line).map_err(|e| format!("line {lineno}: {e}"))?),
+            Some(_) => {}
+            None => return Err(format!("line {lineno}: missing string `type`")),
+        }
+    }
+    Ok(spans)
+}
+
+fn run(path: &str, mode: Mode) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spans = spans_from_jsonl(&text)?;
+    if spans.is_empty() {
+        return Err(format!(
+            "{path}: no span events — was the trace recorded with --metrics-out \
+             on an instrumented (obs-enabled) binary?"
+        ));
+    }
+    Ok(to_folded(&build_forest(&spans), mode))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = Mode::SelfTime;
+    let mut paths = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--self-time" => mode = Mode::SelfTime,
+            "--total-time" => mode = Mode::TotalTime,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: qdgnn-obs-flame [--self-time|--total-time] <metrics.jsonl>");
+                return ExitCode::FAILURE;
+            }
+            path => paths.push(path),
+        }
+    }
+    let [path] = paths[..] else {
+        eprintln!("usage: qdgnn-obs-flame [--self-time|--total-time] <metrics.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    match run(path, mode) {
+        Ok(folded) => {
+            print!("{folded}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_spans_and_skips_other_lines() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"serve.forward\",\"parent\":\"serve.query\",\"start_us\":0,\"dur_us\":40}\n",
+            "{\"type\":\"event\",\"name\":\"train.epoch\",\"t_us\":5,\"fields\":{\"loss\":0.5}}\n",
+            "{\"type\":\"span\",\"name\":\"serve.query\",\"parent\":null,\"start_us\":0,\"dur_us\":50}\n",
+            "{\"type\":\"snapshot\",\"counters\":{},\"gauges\":{},\"histograms\":{}}\n",
+        );
+        let spans = spans_from_jsonl(text).unwrap();
+        assert_eq!(spans.len(), 2);
+        let folded = to_folded(&build_forest(&spans), Mode::SelfTime);
+        assert!(folded.contains("serve.query;serve.forward 40\n"), "{folded}");
+        assert!(folded.contains("serve.query 10\n"), "{folded}");
+    }
+
+    #[test]
+    fn rejects_non_jsonl_input() {
+        assert!(spans_from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn total_time_mode_reports_inclusive_durations() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"b\",\"parent\":\"a\",\"start_us\":0,\"dur_us\":40}\n",
+            "{\"type\":\"span\",\"name\":\"a\",\"parent\":null,\"start_us\":0,\"dur_us\":50}\n",
+        );
+        let spans = spans_from_jsonl(text).unwrap();
+        let folded = to_folded(&build_forest(&spans), Mode::TotalTime);
+        assert!(folded.contains("a 50\n"), "{folded}");
+        assert!(folded.contains("a;b 40\n"), "{folded}");
+    }
+}

@@ -8,6 +8,7 @@
 //! computation never does.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 /// A microsecond time source.
@@ -70,6 +71,32 @@ impl Clock for FakeClock {
     fn now_micros(&self) -> u64 {
         self.micros.load(Ordering::SeqCst)
     }
+}
+
+fn wall_store() -> &'static RwLock<Arc<dyn Clock>> {
+    static STORE: OnceLock<RwLock<Arc<dyn Clock>>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(Arc::new(MonotonicClock::new())))
+}
+
+/// Installs `clock` as the process-wide wall-clock source.
+///
+/// Unlike the registry (which exists only under the `enabled` feature),
+/// the wall clock is compiled in every build: library code that reports
+/// coarse wall-clock durations (e.g. `TrainReport::train_seconds`) reads
+/// it via [`wall_micros`], so fake-clock tests can cover those paths in
+/// plain builds too. The enabled registry's `set_clock` delegates here,
+/// keeping one authoritative time source.
+pub fn set_wall(clock: Arc<dyn Clock>) {
+    *wall_store().write().unwrap_or_else(|p| p.into_inner()) = clock;
+}
+
+/// Reads the process-wide wall clock, in microseconds since its origin.
+///
+/// Defaults to a [`MonotonicClock`] anchored at first use; swap it with
+/// [`set_wall`]. Intended for coarse, report-level timing only — hot
+/// paths should use the feature-gated span/timer APIs instead.
+pub fn wall_micros() -> u64 {
+    wall_store().read().unwrap_or_else(|p| p.into_inner()).now_micros()
 }
 
 #[cfg(test)]

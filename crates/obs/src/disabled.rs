@@ -78,6 +78,30 @@ pub fn gauge(_name: &str) -> Gauge {
 #[inline(always)]
 pub fn observe(_name: &str, _v: f64) {}
 
+/// No-op memory-allocation accounting.
+#[inline(always)]
+pub fn mem_alloc(_bytes: u64) {}
+
+/// No-op memory-free accounting.
+#[inline(always)]
+pub fn mem_free(_bytes: u64) {}
+
+/// Always 0 (memory accounting compiled out).
+#[inline(always)]
+pub fn mem_live_bytes() -> u64 {
+    0
+}
+
+/// Always 0 (memory accounting compiled out).
+#[inline(always)]
+pub fn mem_peak_bytes() -> u64 {
+    0
+}
+
+/// No-op.
+#[inline(always)]
+pub fn reset_mem_peak() {}
+
 /// No-op.
 #[inline(always)]
 pub fn record_events(_on: bool) {}

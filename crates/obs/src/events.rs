@@ -77,6 +77,69 @@ impl Event {
             }
         }
     }
+
+    /// Parses one JSONL line back into an [`Event`].
+    ///
+    /// Accepts exactly the two shapes [`Event::to_json`] emits
+    /// (`"type":"span"` and `"type":"event"`); anything else — including
+    /// a `"type":"snapshot"` line — is an error. Point-event field order
+    /// is not preserved (the JSON object is unordered), so a
+    /// `to_json`/`from_json` round-trip is exact for spans and
+    /// order-normalized for points.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let v = json::parse(line)?;
+        let kind = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| "missing \"type\"".to_string())?;
+        let name = v
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| "missing \"name\"".to_string())?
+            .to_string();
+        let req_u64 = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|x| x.as_num())
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing or invalid \"{key}\""))
+        };
+        match kind {
+            "span" => {
+                let parent = match v.get("parent") {
+                    None | Some(json::Value::Null) => None,
+                    Some(p) => Some(
+                        p.as_str()
+                            .ok_or_else(|| "\"parent\" must be a string or null".to_string())?
+                            .to_string(),
+                    ),
+                };
+                Ok(Event::Span {
+                    name,
+                    parent,
+                    start_us: req_u64("start_us")?,
+                    dur_us: req_u64("dur_us")?,
+                })
+            }
+            "event" => {
+                let fields = match v.get("fields") {
+                    None => Vec::new(),
+                    Some(f) => f
+                        .as_obj()
+                        .ok_or_else(|| "\"fields\" must be an object".to_string())?
+                        .iter()
+                        .map(|(k, fv)| {
+                            fv.as_num()
+                                .map(|n| (k.clone(), n))
+                                .ok_or_else(|| format!("field \"{k}\" must be numeric"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                Ok(Event::Point { name, t_us: req_u64("t_us")?, fields })
+            }
+            other => Err(format!("not an event line (type {other:?})")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +168,44 @@ mod tests {
         let e = Event::Span { name: "a".into(), parent: None, start_us: 0, dur_us: 1 };
         let v = parse(&e.to_json()).unwrap();
         assert_eq!(v.get("parent"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn from_json_round_trips_spans() {
+        let e = Event::Span {
+            name: "serve.bfs".into(),
+            parent: Some("serve.query".into()),
+            start_us: 7,
+            dur_us: 21,
+        };
+        assert_eq!(Event::from_json(&e.to_json()).unwrap(), e);
+        let root = Event::Span { name: "r".into(), parent: None, start_us: 0, dur_us: 3 };
+        assert_eq!(Event::from_json(&root.to_json()).unwrap(), root);
+    }
+
+    #[test]
+    fn from_json_round_trips_points_modulo_field_order() {
+        let e = Event::Point {
+            name: "train.epoch".into(),
+            t_us: 11,
+            fields: vec![("loss".into(), 0.5), ("epoch".into(), 3.0)],
+        };
+        match Event::from_json(&e.to_json()).unwrap() {
+            Event::Point { name, t_us, mut fields } => {
+                assert_eq!(name, "train.epoch");
+                assert_eq!(t_us, 11);
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                assert_eq!(fields, vec![("epoch".into(), 3.0), ("loss".into(), 0.5)]);
+            }
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_snapshot_and_garbage() {
+        assert!(Event::from_json("{\"type\":\"snapshot\",\"counters\":{}}").is_err());
+        assert!(Event::from_json("not json").is_err());
+        assert!(Event::from_json("{\"type\":\"span\",\"name\":\"x\"}").is_err());
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Collapsed-stack ("folded") flamegraph export.
+//!
+//! Reconstructs the span tree from a recorded event stream and emits the
+//! folded format understood by inferno, speedscope and the original
+//! FlameGraph scripts: one line per stack, frames joined by `;`,
+//! followed by a space and a numeric value —
+//!
+//! ```text
+//! serve.query 12
+//! serve.query;serve.forward 340
+//! ```
+//!
+//! **Reconstruction.** The registry buffers spans in *completion* order
+//! (a child's guard drops before its parent's), and each span carries
+//! the name of its enclosing span on the same thread. Walking the
+//! stream in order, every completed-but-unadopted span is held pending;
+//! when a span `S` completes, it adopts every pending span whose
+//! recorded parent name is `S.name` and whose `[start, start+dur]`
+//! interval lies inside `S`'s. Parent names alone are ambiguous (the
+//! same span name recurs across queries and threads); the interval
+//! check resolves the ambiguity to the enclosing instance. Spans whose
+//! parent never completes — or that had none — become roots.
+//!
+//! **Values.** [`Mode::SelfTime`] (the flamegraph convention) writes
+//! each stack's *exclusive* time: the span's duration minus its
+//! children's, so a frame's rendered width is the sum of its subtree's
+//! lines. [`Mode::TotalTime`] writes each stack's *inclusive* duration
+//! instead — useful as a ranked listing of where time accumulates, but
+//! note a parent's value already contains its children's, so these
+//! lines must not be re-summed into a flamegraph.
+
+use crate::events::Event;
+
+/// What the folded value column means.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Exclusive time: span duration minus the durations of its
+    /// children. The standard flamegraph semantics.
+    SelfTime,
+    /// Inclusive time: the span's own duration.
+    TotalTime,
+}
+
+/// One reconstructed span with its adopted children.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanNode {
+    /// Span name (one flamegraph frame).
+    pub name: String,
+    /// Start timestamp in µs.
+    pub start_us: u64,
+    /// Inclusive duration in µs.
+    pub dur_us: u64,
+    /// Nested spans, sorted by start time.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Exclusive (self) time: duration minus children's durations,
+    /// floored at zero (clock granularity can make children sum past
+    /// the parent).
+    pub fn self_us(&self) -> u64 {
+        let nested: u64 = self.children.iter().map(|c| c.dur_us).sum();
+        self.dur_us.saturating_sub(nested)
+    }
+}
+
+/// Rebuilds the span forest from an event stream (non-span events are
+/// ignored). See the module docs for the adoption rules.
+pub fn build_forest(events: &[Event]) -> Vec<SpanNode> {
+    // (recorded parent name, completed node) — completion order.
+    let mut pending: Vec<(Option<String>, SpanNode)> = Vec::new();
+    for e in events {
+        let Event::Span { name, parent, start_us, dur_us } = e else {
+            continue;
+        };
+        let end = start_us.saturating_add(*dur_us);
+        let mut node = SpanNode {
+            name: name.clone(),
+            start_us: *start_us,
+            dur_us: *dur_us,
+            children: Vec::new(),
+        };
+        let mut keep = Vec::with_capacity(pending.len());
+        for (p_parent, p_node) in pending.drain(..) {
+            let contained = p_node.start_us >= *start_us
+                && p_node.start_us.saturating_add(p_node.dur_us) <= end;
+            if p_parent.as_deref() == Some(name.as_str()) && contained {
+                node.children.push(p_node);
+            } else {
+                keep.push((p_parent, p_node));
+            }
+        }
+        pending = keep;
+        node.children.sort_by_key(|c| c.start_us);
+        pending.push((parent.clone(), node));
+    }
+    let mut roots: Vec<SpanNode> = pending.into_iter().map(|(_, n)| n).collect();
+    roots.sort_by_key(|r| r.start_us);
+    roots
+}
+
+fn frame(name: &str) -> String {
+    // `;` separates frames and whitespace separates the value column;
+    // span names are static identifiers so this never fires in practice.
+    name.replace([';', ' ', '\t', '\n'], "_")
+}
+
+/// Flattens a forest into aggregated `(stack, value_us)` pairs, summing
+/// duplicate stacks, sorted by stack for stable output.
+pub fn fold(roots: &[SpanNode], mode: Mode) -> Vec<(String, u64)> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<String, u64> = BTreeMap::new();
+    fn walk(node: &SpanNode, prefix: &str, mode: Mode, acc: &mut std::collections::BTreeMap<String, u64>) {
+        let path = if prefix.is_empty() {
+            frame(&node.name)
+        } else {
+            format!("{prefix};{}", frame(&node.name))
+        };
+        let value = match mode {
+            Mode::SelfTime => node.self_us(),
+            Mode::TotalTime => node.dur_us,
+        };
+        *acc.entry(path.clone()).or_insert(0) += value;
+        for c in &node.children {
+            walk(c, &path, mode, acc);
+        }
+    }
+    for r in roots {
+        walk(r, "", mode, &mut acc);
+    }
+    acc.into_iter().collect()
+}
+
+/// Renders a forest as folded text, one `stack value` line per stack.
+///
+/// Zero-valued stacks are kept: they carry the tree shape (a parent
+/// whose time is entirely inside its children still names a frame).
+pub fn to_folded(roots: &[SpanNode], mode: Mode) -> String {
+    let mut out = String::new();
+    for (stack, value) in fold(roots, mode) {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One node of a tree parsed back from folded text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FoldedNode {
+    /// Frame name.
+    pub name: String,
+    /// The value recorded for exactly this stack (self time under
+    /// [`Mode::SelfTime`] emission).
+    pub self_us: u64,
+    /// Child frames, in first-seen order.
+    pub children: Vec<FoldedNode>,
+}
+
+impl FoldedNode {
+    /// Inclusive value: this stack's value plus all descendants'. Under
+    /// [`Mode::SelfTime`] emission this recovers each span's total
+    /// duration.
+    pub fn total_us(&self) -> u64 {
+        self.self_us + self.children.iter().map(FoldedNode::total_us).sum::<u64>()
+    }
+
+    fn child_mut(&mut self, name: &str) -> &mut FoldedNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(FoldedNode {
+            name: name.to_string(),
+            self_us: 0,
+            children: Vec::new(),
+        });
+        self.children.last_mut().expect("just pushed")
+    }
+}
+
+/// Parses folded text back into a forest. Duplicate stacks sum; a stack
+/// appearing only as a prefix of deeper stacks gets `self_us = 0`.
+pub fn parse_folded(text: &str) -> Result<Vec<FoldedNode>, String> {
+    let mut virtual_root =
+        FoldedNode { name: String::new(), self_us: 0, children: Vec::new() };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value column: {line:?}", lineno + 1))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        if stack.is_empty() {
+            return Err(format!("line {}: empty stack", lineno + 1));
+        }
+        let mut node = &mut virtual_root;
+        for f in stack.split(';') {
+            if f.is_empty() {
+                return Err(format!("line {}: empty frame in {stack:?}", lineno + 1));
+            }
+            node = node.child_mut(f);
+        }
+        node.self_us += value;
+    }
+    Ok(virtual_root.children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, parent: Option<&str>, start_us: u64, dur_us: u64) -> Event {
+        Event::Span {
+            name: name.into(),
+            parent: parent.map(str::to_string),
+            start_us,
+            dur_us,
+        }
+    }
+
+    /// serve.query [0,100] ⊃ encode [0,10], forward [10,70], bfs [70,95]
+    /// in completion order (children first).
+    fn serve_events() -> Vec<Event> {
+        vec![
+            span("serve.encode", Some("serve.query"), 0, 10),
+            span("serve.forward", Some("serve.query"), 10, 60),
+            span("serve.bfs", Some("serve.query"), 70, 25),
+            span("serve.query", None, 0, 100),
+        ]
+    }
+
+    #[test]
+    fn forest_reconstructs_nesting_from_completion_order() {
+        let roots = build_forest(&serve_events());
+        assert_eq!(roots.len(), 1);
+        let q = &roots[0];
+        assert_eq!(q.name, "serve.query");
+        let kids: Vec<&str> = q.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, ["serve.encode", "serve.forward", "serve.bfs"]);
+        assert_eq!(q.self_us(), 100 - 10 - 60 - 25);
+    }
+
+    #[test]
+    fn same_name_instances_resolve_by_interval() {
+        // Two queries back-to-back: each child must attach to its own
+        // enclosing instance, not the other one.
+        let events = vec![
+            span("serve.forward", Some("serve.query"), 0, 40),
+            span("serve.query", None, 0, 50),
+            span("serve.forward", Some("serve.query"), 60, 30),
+            span("serve.query", None, 60, 35),
+        ];
+        let roots = build_forest(&events);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].dur_us, 40);
+        assert_eq!(roots[1].children.len(), 1);
+        assert_eq!(roots[1].children[0].dur_us, 30);
+    }
+
+    #[test]
+    fn orphans_become_roots() {
+        // A child whose parent span never completed (e.g. the run was
+        // cut off) still shows up, as a root.
+        let events = vec![span("serve.forward", Some("serve.query"), 0, 40)];
+        let roots = build_forest(&events);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "serve.forward");
+    }
+
+    #[test]
+    fn self_time_folds_to_exclusive_values() {
+        let folded = fold(&build_forest(&serve_events()), Mode::SelfTime);
+        let get = |k: &str| folded.iter().find(|(s, _)| s == k).map(|(_, v)| *v);
+        assert_eq!(get("serve.query"), Some(5));
+        assert_eq!(get("serve.query;serve.forward"), Some(60));
+        assert_eq!(get("serve.query;serve.encode"), Some(10));
+        assert_eq!(get("serve.query;serve.bfs"), Some(25));
+        // Flamegraph invariant: the lines sum to the root's total.
+        let total: u64 = folded.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn total_time_folds_to_inclusive_values() {
+        let folded = fold(&build_forest(&serve_events()), Mode::TotalTime);
+        let get = |k: &str| folded.iter().find(|(s, _)| s == k).map(|(_, v)| *v);
+        assert_eq!(get("serve.query"), Some(100));
+        assert_eq!(get("serve.query;serve.forward"), Some(60));
+    }
+
+    #[test]
+    fn duplicate_stacks_aggregate() {
+        let events = vec![
+            span("serve.forward", Some("serve.query"), 0, 40),
+            span("serve.query", None, 0, 50),
+            span("serve.forward", Some("serve.query"), 60, 30),
+            span("serve.query", None, 60, 35),
+        ];
+        let folded = fold(&build_forest(&events), Mode::SelfTime);
+        let get = |k: &str| folded.iter().find(|(s, _)| s == k).map(|(_, v)| *v);
+        assert_eq!(get("serve.query;serve.forward"), Some(70));
+        assert_eq!(get("serve.query"), Some(10 + 5));
+    }
+
+    #[test]
+    fn parse_folded_inverts_to_folded() {
+        let roots = build_forest(&serve_events());
+        let text = to_folded(&roots, Mode::SelfTime);
+        let parsed = parse_folded(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let q = &parsed[0];
+        assert_eq!(q.name, "serve.query");
+        assert_eq!(q.self_us, 5);
+        assert_eq!(q.total_us(), 100, "self-time folding preserves totals");
+        for c in &q.children {
+            assert!(c.total_us() <= q.total_us(), "child exceeds parent");
+        }
+    }
+
+    #[test]
+    fn parse_folded_rejects_malformed_lines() {
+        assert!(parse_folded("no_value_column\n").is_err());
+        assert!(parse_folded("a;b notanumber\n").is_err());
+        assert!(parse_folded(";a 3\n").is_err());
+        assert!(parse_folded(" 3\n").is_err());
+    }
+}

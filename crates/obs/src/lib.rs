@@ -33,6 +33,7 @@
 
 pub mod clock;
 pub mod events;
+pub mod folded;
 pub mod json;
 pub mod metrics;
 
@@ -40,18 +41,18 @@ pub mod metrics;
 mod registry;
 #[cfg(feature = "enabled")]
 pub use registry::{
-    counter, event, events_recorded, gauge, is_enabled, now_micros, observe, op_timer,
-    record_events, reset, set_clock, snapshot, take_events, write_jsonl, Counter, Gauge,
-    OpTimer, SpanGuard,
+    counter, event, events_recorded, gauge, is_enabled, mem_alloc, mem_free, mem_live_bytes,
+    mem_peak_bytes, now_micros, observe, op_timer, record_events, reset, reset_mem_peak,
+    set_clock, snapshot, take_events, write_jsonl, Counter, Gauge, OpTimer, SpanGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
 mod disabled;
 #[cfg(not(feature = "enabled"))]
 pub use disabled::{
-    counter, event, events_recorded, gauge, is_enabled, now_micros, observe, op_timer,
-    record_events, reset, set_clock, snapshot, take_events, write_jsonl, Counter, Gauge,
-    OpTimer, SpanGuard,
+    counter, event, events_recorded, gauge, is_enabled, mem_alloc, mem_free, mem_live_bytes,
+    mem_peak_bytes, now_micros, observe, op_timer, record_events, reset, reset_mem_peak,
+    set_clock, snapshot, take_events, write_jsonl, Counter, Gauge, OpTimer, SpanGuard,
 };
 
 /// Whether the instrumentation layer is compiled in (`enabled` feature).

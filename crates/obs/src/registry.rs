@@ -9,7 +9,7 @@ use std::io::{self, Write};
 use std::marker::PhantomData;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::clock::{Clock, MonotonicClock};
 use crate::events::Event;
@@ -24,10 +24,16 @@ struct Registry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
-    clock: RwLock<Arc<dyn Clock>>,
     events: Mutex<Vec<Event>>,
     events_dropped: AtomicU64,
     record_events: AtomicBool,
+    // Tensor memory accounting. Dedicated atomics, not named counters:
+    // `mem_alloc`/`mem_free` run on every buffer construction and drop,
+    // far too hot for a `BTreeMap` lookup under a mutex.
+    mem_alloc_bytes: AtomicU64,
+    mem_freed_bytes: AtomicU64,
+    mem_live_bytes: AtomicU64,
+    mem_peak_bytes: AtomicU64,
 }
 
 fn registry() -> &'static Registry {
@@ -36,10 +42,13 @@ fn registry() -> &'static Registry {
         counters: Mutex::new(BTreeMap::new()),
         gauges: Mutex::new(BTreeMap::new()),
         hists: Mutex::new(BTreeMap::new()),
-        clock: RwLock::new(Arc::new(MonotonicClock::new())),
         events: Mutex::new(Vec::new()),
         events_dropped: AtomicU64::new(0),
         record_events: AtomicBool::new(false),
+        mem_alloc_bytes: AtomicU64::new(0),
+        mem_freed_bytes: AtomicU64::new(0),
+        mem_live_bytes: AtomicU64::new(0),
+        mem_peak_bytes: AtomicU64::new(0),
     })
 }
 
@@ -60,13 +69,15 @@ pub const fn is_enabled() -> bool {
 
 /// Injects the clock all timestamps come from (tests pass a
 /// [`crate::clock::FakeClock`]). Affects spans started after the call.
+/// Delegates to [`crate::clock::set_wall`], so registry timestamps and
+/// library-level wall timing share one source.
 pub fn set_clock(clock: Arc<dyn Clock>) {
-    *registry().clock.write().unwrap_or_else(|p| p.into_inner()) = clock;
+    crate::clock::set_wall(clock);
 }
 
-/// Current registry time in µs.
+/// Current registry time in µs (the process wall clock).
 pub fn now_micros() -> u64 {
-    registry().clock.read().unwrap_or_else(|p| p.into_inner()).now_micros()
+    crate::clock::wall_micros()
 }
 
 /// Handle to a named counter.
@@ -141,6 +152,76 @@ fn hist(name: &str) -> Arc<Histogram> {
 /// Records one sample into the histogram named `name`.
 pub fn observe(name: &str, v: f64) {
     hist(name).observe(v);
+}
+
+/// Accounts `bytes` of tracked heap memory as allocated: bumps the
+/// cumulative `mem.alloc_bytes` counter and the `mem.live_bytes` gauge,
+/// and raises the `mem.peak_bytes` high-watermark if the new live total
+/// exceeds it. Called from tensor buffer constructors; a few relaxed
+/// atomics, no locks.
+#[inline]
+pub fn mem_alloc(bytes: u64) {
+    if bytes == 0 {
+        return;
+    }
+    let reg = registry();
+    reg.mem_alloc_bytes.fetch_add(bytes, Ordering::Relaxed);
+    let live = reg.mem_live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    let mut peak = reg.mem_peak_bytes.load(Ordering::Relaxed);
+    while live > peak {
+        match reg.mem_peak_bytes.compare_exchange_weak(
+            peak,
+            live,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+/// Accounts `bytes` of tracked heap memory as freed. The live gauge
+/// saturates at zero so an unmatched free can never wrap it.
+#[inline]
+pub fn mem_free(bytes: u64) {
+    if bytes == 0 {
+        return;
+    }
+    let reg = registry();
+    reg.mem_freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    let mut live = reg.mem_live_bytes.load(Ordering::Relaxed);
+    loop {
+        let next = live.saturating_sub(bytes);
+        match reg.mem_live_bytes.compare_exchange_weak(
+            live,
+            next,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(l) => live = l,
+        }
+    }
+}
+
+/// Currently live tracked bytes (allocated minus freed, floored at 0).
+pub fn mem_live_bytes() -> u64 {
+    registry().mem_live_bytes.load(Ordering::Relaxed)
+}
+
+/// High-watermark of [`mem_live_bytes`] since startup, the last
+/// [`reset`], or the last [`reset_mem_peak`].
+pub fn mem_peak_bytes() -> u64 {
+    registry().mem_peak_bytes.load(Ordering::Relaxed)
+}
+
+/// Restarts the peak watermark at the current live total, so a
+/// multi-phase bench can report a per-phase peak.
+pub fn reset_mem_peak() {
+    let reg = registry();
+    let live = reg.mem_live_bytes.load(Ordering::Relaxed);
+    reg.mem_peak_bytes.store(live, Ordering::Relaxed);
 }
 
 /// Turns event buffering on or off (off by default: histograms and
@@ -242,23 +323,44 @@ impl Drop for OpTimer {
     }
 }
 
-/// Snapshots every metric in the registry (sorted by name).
+/// Snapshots every metric in the registry (sorted by name). Memory
+/// accounting appears as the `mem.alloc_bytes` / `mem.freed_bytes`
+/// counters and `mem.live_bytes` / `mem.peak_bytes` gauges once any
+/// tracked allocation happened.
 pub fn snapshot() -> MetricsSnapshot {
     let reg = registry();
-    let counters = lock(&reg.counters)
+    let mut counters = lock(&reg.counters)
         .iter()
         .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
         .collect::<Vec<_>>();
-    let mut counters = counters;
+    let mut gauges = lock(&reg.gauges)
+        .iter()
+        .map(|(n, g)| (n.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+        .collect::<Vec<_>>();
     let dropped = reg.events_dropped.load(Ordering::Relaxed);
     if dropped > 0 {
         counters.push(("obs.events_dropped".to_string(), dropped));
-        counters.sort_by(|a, b| a.0.cmp(&b.0));
     }
-    let gauges = lock(&reg.gauges)
-        .iter()
-        .map(|(n, g)| (n.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
-        .collect();
+    let alloc = reg.mem_alloc_bytes.load(Ordering::Relaxed);
+    if alloc > 0 {
+        counters.push(("mem.alloc_bytes".to_string(), alloc));
+        counters.push((
+            "mem.freed_bytes".to_string(),
+            reg.mem_freed_bytes.load(Ordering::Relaxed),
+        ));
+        gauges.push((
+            "mem.live_bytes".to_string(),
+            reg.mem_live_bytes.load(Ordering::Relaxed) as f64,
+        ));
+        gauges.push((
+            "mem.peak_bytes".to_string(),
+            reg.mem_peak_bytes.load(Ordering::Relaxed) as f64,
+        ));
+    }
+    if dropped > 0 || alloc > 0 {
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    }
     let hists =
         lock(&reg.hists).iter().map(|(n, h)| h.snapshot(n)).collect();
     MetricsSnapshot { counters, gauges, hists }
@@ -282,6 +384,11 @@ pub fn write_jsonl(path: impl AsRef<Path>) -> io::Result<()> {
 
 /// Clears all metrics, events and the event-drop count, and resets the
 /// clock to a fresh monotonic one. For tests and multi-phase benches.
+///
+/// Memory accounting: the cumulative alloc/freed counters restart at
+/// zero and the peak watermark restarts at the *current* live total —
+/// the live gauge itself is untouched, because buffers allocated before
+/// the reset are still outstanding and will still report their frees.
 pub fn reset() {
     let reg = registry();
     lock(&reg.counters).clear();
@@ -290,6 +397,9 @@ pub fn reset() {
     lock(&reg.events).clear();
     reg.events_dropped.store(0, Ordering::SeqCst);
     reg.record_events.store(false, Ordering::SeqCst);
+    reg.mem_alloc_bytes.store(0, Ordering::Relaxed);
+    reg.mem_freed_bytes.store(0, Ordering::Relaxed);
+    reset_mem_peak();
     set_clock(Arc::new(MonotonicClock::new()));
 }
 
@@ -390,6 +500,51 @@ mod tests {
         let s = snapshot();
         assert_eq!(s.hist("t.reg.op").unwrap().count, 1);
         assert!((s.hist("t.reg.op").unwrap().max - 7.0).abs() < 1e-9);
+        reset();
+    }
+
+    #[test]
+    fn mem_accounting_tracks_live_and_peak() {
+        let _l = test_lock();
+        reset();
+        // Drain any live bytes left over from other instrumented tests in
+        // this process so the arithmetic below is exact.
+        let carried = mem_live_bytes();
+        mem_free(carried);
+        reset();
+        assert_eq!(mem_live_bytes(), 0);
+        mem_alloc(1000);
+        mem_alloc(500);
+        assert_eq!(mem_live_bytes(), 1500);
+        assert_eq!(mem_peak_bytes(), 1500);
+        mem_free(1200);
+        assert_eq!(mem_live_bytes(), 300);
+        assert_eq!(mem_peak_bytes(), 1500, "peak is a high-watermark");
+        mem_alloc(100);
+        assert_eq!(mem_peak_bytes(), 1500, "400 live never beats the peak");
+        let s = snapshot();
+        assert_eq!(s.counter("mem.alloc_bytes"), Some(1600));
+        assert_eq!(s.counter("mem.freed_bytes"), Some(1200));
+        assert_eq!(s.gauge("mem.live_bytes"), Some(400.0));
+        assert_eq!(s.gauge("mem.peak_bytes"), Some(1500.0));
+        // Snapshot stays sorted with the synthetic entries spliced in.
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+
+        // reset(): cumulative counters restart, live survives, peak
+        // restarts at live.
+        reset();
+        assert_eq!(mem_live_bytes(), 400, "reset must not forget live buffers");
+        assert_eq!(mem_peak_bytes(), 400);
+        assert!(snapshot().counter("mem.alloc_bytes").is_none(), "hidden until next alloc");
+        reset_mem_peak();
+        mem_free(400);
+        assert_eq!(mem_live_bytes(), 0);
+        // Saturation: an unmatched free cannot wrap the gauge.
+        mem_free(10_000);
+        assert_eq!(mem_live_bytes(), 0);
         reset();
     }
 

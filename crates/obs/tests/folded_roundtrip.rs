@@ -1,0 +1,142 @@
+//! Folded-stack round-trip: nested spans → folded lines → parsed tree
+//! must preserve the parent/child timing invariants (every child's
+//! total ≤ its parent's, self-time lines re-sum to span totals).
+//!
+//! The synthetic-event half runs in every build (the `folded` module is
+//! unconditional); the recorded-span half needs the `enabled` feature.
+
+use qdgnn_obs::events::Event;
+use qdgnn_obs::folded::{build_forest, parse_folded, to_folded, FoldedNode, Mode, SpanNode};
+
+fn assert_children_within_parents(node: &FoldedNode) {
+    for c in &node.children {
+        assert!(
+            c.total_us() <= node.total_us(),
+            "child {} ({}) exceeds parent {} ({})",
+            c.name,
+            c.total_us(),
+            node.name,
+            node.total_us()
+        );
+        assert_children_within_parents(c);
+    }
+}
+
+fn span_totals(nodes: &[SpanNode], acc: &mut Vec<(String, u64)>) {
+    for n in nodes {
+        acc.push((n.name.clone(), n.dur_us));
+        span_totals(&n.children, acc);
+    }
+}
+
+fn folded_totals(nodes: &[FoldedNode], acc: &mut Vec<(String, u64)>) {
+    for n in nodes {
+        acc.push((n.name.clone(), n.total_us()));
+        folded_totals(&n.children, acc);
+    }
+}
+
+/// Round-trips a deep synthetic trace: three-level nesting, repeated
+/// stacks, sibling spans, an orphan root.
+#[test]
+fn synthetic_nested_spans_round_trip() {
+    let span = |name: &str, parent: Option<&str>, start_us: u64, dur_us: u64| Event::Span {
+        name: name.into(),
+        parent: parent.map(str::to_string),
+        start_us,
+        dur_us,
+    };
+    // Completion order (inner first), two serve.query instances plus an
+    // unparented train.epoch-style span.
+    let events = vec![
+        span("serve.encode", Some("serve.query"), 0, 8),
+        span("tensor.matmul", Some("serve.forward"), 10, 20),
+        span("serve.forward", Some("serve.query"), 9, 40),
+        span("serve.bfs", Some("serve.query"), 50, 30),
+        span("serve.query", None, 0, 90),
+        span("serve.forward", Some("serve.query"), 100, 25),
+        span("serve.query", None, 100, 30),
+        span("train.validate", None, 200, 15),
+    ];
+    let forest = build_forest(&events);
+    assert_eq!(forest.len(), 3);
+
+    let text = to_folded(&forest, Mode::SelfTime);
+    let parsed = parse_folded(&text).unwrap();
+    for root in &parsed {
+        assert_children_within_parents(root);
+    }
+
+    // Because duplicate stacks aggregate, compare *summed* totals per
+    // stack name at each level rather than per-instance.
+    let mut expect: Vec<(String, u64)> = Vec::new();
+    span_totals(&forest, &mut expect);
+    let mut got: Vec<(String, u64)> = Vec::new();
+    folded_totals(&parsed, &mut got);
+    let sum_by_name = |v: &[(String, u64)]| {
+        let mut m = std::collections::BTreeMap::new();
+        for (k, n) in v {
+            *m.entry(k.clone()).or_insert(0u64) += n;
+        }
+        m
+    };
+    assert_eq!(
+        sum_by_name(&expect),
+        sum_by_name(&got),
+        "self-time folding must preserve every span's total duration"
+    );
+
+    // The three-level nesting survives textually.
+    assert!(
+        text.contains("serve.query;serve.forward;tensor.matmul 20\n"),
+        "missing grandchild stack:\n{text}"
+    );
+}
+
+/// Records real spans through the registry on a fake clock, then checks
+/// the folded output matches the timings that were injected.
+#[cfg(feature = "enabled")]
+#[test]
+fn recorded_spans_round_trip() {
+    use qdgnn_obs::clock::FakeClock;
+    use std::sync::Arc;
+
+    // The registry is process-global; this test file runs as its own
+    // binary, so no other test races it here.
+    qdgnn_obs::reset();
+    let clock = Arc::new(FakeClock::new());
+    qdgnn_obs::set_clock(Arc::clone(&clock) as Arc<dyn qdgnn_obs::clock::Clock>);
+    qdgnn_obs::record_events(true);
+
+    for _query in 0..3 {
+        let _q = qdgnn_obs::span!("serve.query");
+        {
+            let _e = qdgnn_obs::span!("serve.encode");
+            clock.advance_micros(5);
+        }
+        {
+            let _f = qdgnn_obs::span!("serve.forward");
+            clock.advance_micros(40);
+        }
+        {
+            let _b = qdgnn_obs::span!("serve.bfs");
+            clock.advance_micros(15);
+        }
+        clock.advance_micros(2); // identify/assembly tail
+    }
+
+    let events = qdgnn_obs::take_events();
+    let forest = build_forest(&events);
+    assert_eq!(forest.len(), 3, "one root per query");
+    let text = to_folded(&forest, Mode::SelfTime);
+    assert!(text.contains("serve.query;serve.forward 120\n"), "{text}");
+    assert!(text.contains("serve.query;serve.encode 15\n"), "{text}");
+    assert!(text.contains("serve.query;serve.bfs 45\n"), "{text}");
+    assert!(text.contains("serve.query 6\n"), "{text}");
+
+    let parsed = parse_folded(&text).unwrap();
+    assert_eq!(parsed.len(), 1, "aggregated into one serve.query stack");
+    assert_eq!(parsed[0].total_us(), 3 * 62);
+    assert_children_within_parents(&parsed[0]);
+    qdgnn_obs::reset();
+}

@@ -29,8 +29,13 @@ fn disabled_recording_has_no_observable_state() {
         let _s = qdgnn_obs::span!("t.off.span");
         let _t = qdgnn_obs::op_timer("t.off.op");
     }
+    qdgnn_obs::mem_alloc(1 << 30);
+    qdgnn_obs::mem_free(1);
+    qdgnn_obs::reset_mem_peak();
     assert!(!qdgnn_obs::events_recorded());
     assert!(qdgnn_obs::take_events().is_empty());
+    assert_eq!(qdgnn_obs::mem_live_bytes(), 0, "disabled build accounts nothing");
+    assert_eq!(qdgnn_obs::mem_peak_bytes(), 0);
     let snap = qdgnn_obs::snapshot();
     assert!(snap.counters.is_empty());
     assert!(snap.gauges.is_empty());
@@ -62,6 +67,8 @@ fn disabled_hot_loop_overhead_is_negligible() {
             let _timer = qdgnn_obs::op_timer("t.hot.op");
             qdgnn_obs::counter("t.hot.c").inc();
             qdgnn_obs::observe("t.hot.h", i as f64);
+            qdgnn_obs::mem_alloc(i);
+            qdgnn_obs::mem_free(i);
             acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
         }
         acc

@@ -17,22 +17,55 @@ const PARALLEL_FLOP_THRESHOLD: usize = 4_000_000;
 ///
 /// Cloning is a deep copy; the autodiff tape wraps values in `Arc` so that
 /// clones on the hot path are reference-counted instead.
-#[derive(Clone, PartialEq)]
+///
+/// Every buffer is accounted to the obs memory registry on construction
+/// and on drop (zero-cost no-ops unless `qdgnn-obs/enabled` is on), so
+/// `mem.live_bytes` / `mem.peak_bytes` track tensor heap usage exactly.
+#[derive(PartialEq)]
 pub struct Dense {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
 
+impl Clone for Dense {
+    fn clone(&self) -> Self {
+        // Manual impl so the copy's buffer is accounted like any other.
+        Dense::tracked(self.rows, self.cols, self.data.clone())
+    }
+}
+
+impl Drop for Dense {
+    fn drop(&mut self) {
+        qdgnn_obs::mem_free(self.heap_bytes());
+    }
+}
+
 impl Dense {
+    /// The sole constructor: accounts the buffer, then builds the value.
+    /// Buffers never grow after construction (no method reallocates
+    /// `data`), so the capacity freed on drop equals the one counted here.
+    #[inline]
+    fn tracked(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        let m = Dense { rows, cols, data };
+        qdgnn_obs::mem_alloc(m.heap_bytes());
+        m
+    }
+
+    /// Bytes of heap this matrix owns (its buffer's capacity).
+    #[inline]
+    pub fn heap_bytes(&self) -> u64 {
+        (self.data.capacity() * std::mem::size_of::<f32>()) as u64
+    }
+
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Dense { rows, cols, data: vec![0.0; rows * cols] }
+        Dense::tracked(rows, cols, vec![0.0; rows * cols])
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Dense { rows, cols, data: vec![value; rows * cols] }
+        Dense::tracked(rows, cols, vec![value; rows * cols])
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -48,7 +81,7 @@ impl Dense {
             rows,
             cols
         );
-        Dense { rows, cols, data }
+        Dense::tracked(rows, cols, data)
     }
 
     /// Creates a matrix from nested row slices (test/builder convenience).
@@ -60,17 +93,17 @@ impl Dense {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Dense { rows: r, cols: c, data }
+        Dense::tracked(r, c, data)
     }
 
     /// Creates a 1×`n` row vector.
     pub fn row_vector(values: &[f32]) -> Self {
-        Dense { rows: 1, cols: values.len(), data: values.to_vec() }
+        Dense::tracked(1, values.len(), values.to_vec())
     }
 
     /// Creates an `n`×1 column vector.
     pub fn column_vector(values: &[f32]) -> Self {
-        Dense { rows: values.len(), cols: 1, data: values.to_vec() }
+        Dense::tracked(values.len(), 1, values.to_vec())
     }
 
     /// Identity matrix of size `n`.
@@ -161,8 +194,16 @@ impl Dense {
     }
 
     /// Consumes the matrix, returning its row-major data.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    ///
+    /// The buffer leaves memory accounting here: it is counted as freed
+    /// even though the returned `Vec` keeps it alive (only tensor-owned
+    /// buffers are tracked).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        // `self` now holds a zero-capacity buffer; its Drop frees 0 bytes,
+        // so release the real buffer's bytes explicitly.
+        qdgnn_obs::mem_free((data.capacity() * std::mem::size_of::<f32>()) as u64);
+        data
     }
 
     /// Matrix transpose.
@@ -276,14 +317,14 @@ impl Dense {
     pub fn sub(&self, other: &Dense) -> Dense {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
         let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        Dense::tracked(self.rows, self.cols, data)
     }
 
     /// Elementwise (Hadamard) product, returning a new matrix.
     pub fn hadamard(&self, other: &Dense) -> Dense {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
         let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        Dense::tracked(self.rows, self.cols, data)
     }
 
     /// Multiplies every element by `k` in place.
@@ -303,7 +344,7 @@ impl Dense {
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Dense {
         let data = self.data.iter().map(|&v| f(v)).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        Dense::tracked(self.rows, self.cols, data)
     }
 
     /// Sum of all elements.

@@ -21,7 +21,7 @@ use crate::dense::Dense;
 /// let out = m.spmm(&d);
 /// assert_eq!(out.as_slice(), &[201.0, -10.0]);
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Csr {
     rows: usize,
     cols: usize,
@@ -30,7 +30,52 @@ pub struct Csr {
     values: Vec<f32>,
 }
 
+impl Clone for Csr {
+    fn clone(&self) -> Self {
+        // Manual impl so the copy's buffers are accounted like any other
+        // (see `tracked`).
+        Csr::tracked(
+            self.rows,
+            self.cols,
+            self.indptr.clone(),
+            self.indices.clone(),
+            self.values.clone(),
+        )
+    }
+}
+
+impl Drop for Csr {
+    fn drop(&mut self) {
+        qdgnn_obs::mem_free(self.heap_bytes());
+    }
+}
+
 impl Csr {
+    /// The sole constructor: accounts all three buffers, then builds the
+    /// value. No method reallocates them afterwards (`row_normalize`
+    /// mutates in place), so the capacity freed on drop equals the one
+    /// counted here.
+    #[inline]
+    fn tracked(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        let m = Csr { rows, cols, indptr, indices, values };
+        qdgnn_obs::mem_alloc(m.heap_bytes());
+        m
+    }
+
+    /// Bytes of heap this matrix owns across its three buffers.
+    #[inline]
+    pub fn heap_bytes(&self) -> u64 {
+        (self.indptr.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()
+            + self.values.capacity() * std::mem::size_of::<f32>()) as u64
+    }
+
     /// Builds a CSR matrix from (row, col, value) triplets.
     ///
     /// Duplicate coordinates are summed. Triplets need not be sorted.
@@ -84,7 +129,7 @@ impl Csr {
             }
             indptr.push(indices.len());
         }
-        Csr { rows, cols, indptr, indices, values }
+        Csr::tracked(rows, cols, indptr, indices, values)
     }
 
     /// Builds a CSR matrix directly from raw components.
@@ -111,18 +156,12 @@ impl Csr {
                 assert!((last as usize) < cols, "column index out of range in row {r}");
             }
         }
-        Csr { rows, cols, indptr, indices, values }
+        Csr::tracked(rows, cols, indptr, indices, values)
     }
 
     /// A sparse identity matrix.
     pub fn identity(n: usize) -> Self {
-        Csr {
-            rows: n,
-            cols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n as u32).collect(),
-            values: vec![1.0; n],
-        }
+        Csr::tracked(n, n, (0..=n).collect(), (0..n as u32).collect(), vec![1.0; n])
     }
 
     /// Number of rows.
@@ -184,7 +223,7 @@ impl Csr {
                 next[c] += 1;
             }
         }
-        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+        Csr::tracked(self.cols, self.rows, indptr, indices, values)
     }
 
     /// Sparse × dense product `self * d`.

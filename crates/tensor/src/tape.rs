@@ -99,6 +99,31 @@ impl Op {
             Op::BceWithLogitsMean { .. } => "bce_with_logits_mean",
         }
     }
+
+    /// Obs counter accumulating output bytes per op kind (static names:
+    /// this runs on every tape push, a `format!` would allocate).
+    fn bytes_metric(&self) -> &'static str {
+        match self {
+            Op::Leaf => "tensor.leaf.bytes",
+            Op::Matmul { .. } => "tensor.matmul.bytes",
+            Op::Spmm { .. } => "tensor.spmm.bytes",
+            Op::Add { .. } => "tensor.add.bytes",
+            Op::Sub { .. } => "tensor.sub.bytes",
+            Op::Hadamard { .. } => "tensor.hadamard.bytes",
+            Op::AddRow { .. } => "tensor.add_row.bytes",
+            Op::MulRow { .. } => "tensor.mul_row.bytes",
+            Op::MulCol { .. } => "tensor.mul_col.bytes",
+            Op::ColMean { .. } => "tensor.col_mean.bytes",
+            Op::Relu { .. } => "tensor.relu.bytes",
+            Op::Sigmoid { .. } => "tensor.sigmoid.bytes",
+            Op::Scale { .. } => "tensor.scale.bytes",
+            Op::AddScalar { .. } => "tensor.add_scalar.bytes",
+            Op::Rsqrt { .. } => "tensor.rsqrt.bytes",
+            Op::ConcatCols { .. } => "tensor.concat_cols.bytes",
+            Op::MeanAll { .. } => "tensor.mean_all.bytes",
+            Op::BceWithLogitsMean { .. } => "tensor.bce_with_logits.bytes",
+        }
+    }
 }
 
 struct Node {
@@ -170,6 +195,12 @@ impl Tape {
         #[cfg(feature = "sanitize")]
         if !matches!(op, Op::Leaf) {
             crate::sanitize::check_finite(op.name(), &value);
+        }
+        if qdgnn_obs::enabled() {
+            // Output bytes per op kind (for leaves: bytes the tape retains
+            // by aliasing the caller's storage, not a fresh allocation —
+            // the global alloc/live accounting lives in `Dense` itself).
+            qdgnn_obs::counter(op.bytes_metric()).inc_by(value.heap_bytes());
         }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
@@ -347,6 +378,12 @@ impl Tape {
     /// Panics if `loss` is not a 1×1 value.
     pub fn backward(&self, loss: Var) -> Gradients {
         let _t = qdgnn_obs::op_timer("tensor.backward");
+        if qdgnn_obs::enabled() {
+            // Bytes of forward values this backward pass keeps alive —
+            // the activation-memory cost of differentiating this graph.
+            let retained: u64 = self.nodes.iter().map(|n| n.value.heap_bytes()).sum();
+            qdgnn_obs::observe("tensor.tape_retained_bytes", retained as f64);
+        }
         assert_eq!(self.shape(loss), (1, 1), "backward seed must be a scalar");
         let mut grads: Vec<Option<Dense>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.index()] = Some(Dense::from_vec(1, 1, vec![1.0]));

@@ -1,0 +1,71 @@
+//! Tensor memory accounting (feature `obs`): every `Dense`/`Csr` buffer
+//! is counted on construction and drop, clones are deep-copy-accounted,
+//! and the tape reports per-op output bytes plus retained bytes per
+//! backward pass.
+//!
+//! One test function on purpose: the obs registry is process-global and
+//! the arithmetic below assumes no concurrent allocations.
+
+#![cfg(feature = "obs")]
+
+use std::sync::Arc;
+
+use qdgnn_tensor::{Csr, Dense, Tape};
+
+#[test]
+fn buffers_and_tape_are_accounted() {
+    qdgnn_obs::reset();
+    let base = qdgnn_obs::mem_live_bytes();
+
+    // Dense: construction, clone, drop.
+    let d = Dense::zeros(10, 10);
+    let d_bytes = d.heap_bytes();
+    assert_eq!(d_bytes, 400);
+    assert_eq!(qdgnn_obs::mem_live_bytes(), base + 400);
+    let d2 = d.clone();
+    assert_eq!(qdgnn_obs::mem_live_bytes(), base + 800);
+    drop(d2);
+    assert_eq!(qdgnn_obs::mem_live_bytes(), base + 400);
+    assert!(qdgnn_obs::mem_peak_bytes() >= base + 800, "peak saw both copies");
+
+    // into_vec: the buffer leaves tracking with the returned Vec.
+    let taken = d.into_vec();
+    assert_eq!(qdgnn_obs::mem_live_bytes(), base);
+    drop(taken);
+    assert_eq!(qdgnn_obs::mem_live_bytes(), base);
+
+    // Csr: all three buffers counted, transpose/clone tracked too.
+    let live0 = qdgnn_obs::mem_live_bytes();
+    let m = Csr::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]);
+    let m_bytes = m.heap_bytes();
+    assert!(m_bytes > 0);
+    assert_eq!(qdgnn_obs::mem_live_bytes(), live0 + m_bytes);
+    let t = m.transpose();
+    assert_eq!(qdgnn_obs::mem_live_bytes(), live0 + m_bytes + t.heap_bytes());
+    drop(t);
+    drop(m);
+    assert_eq!(qdgnn_obs::mem_live_bytes(), live0);
+
+    // Tape: per-op output-byte counters and retained-bytes histogram.
+    qdgnn_obs::reset();
+    let mut tape = Tape::new();
+    let x = tape.leaf(Arc::new(Dense::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]])));
+    let w = tape.leaf(Arc::new(Dense::from_rows(&[&[0.5], &[1.0]])));
+    let h = tape.matmul(x, w);
+    let r = tape.relu(h);
+    let loss = tape.mean_all(r);
+    let _grads = tape.backward(loss);
+
+    let snap = qdgnn_obs::snapshot();
+    // matmul output is 2×1 → 8 bytes recorded against the op.
+    assert_eq!(snap.counter("tensor.matmul.bytes"), Some(8));
+    assert_eq!(snap.counter("tensor.leaf.bytes"), Some(16 + 8));
+    let retained = snap.hist("tensor.tape_retained_bytes").expect("backward observed");
+    assert_eq!(retained.count, 1);
+    // 5 nodes: x (16) + w (8) + h (8) + r (8) + loss (4).
+    assert!((retained.max - 44.0).abs() < 1e-9, "retained {retained:?}");
+    // The global gauges surfaced in the snapshot as well.
+    assert!(snap.counter("mem.alloc_bytes").is_some());
+    assert!(snap.gauge("mem.live_bytes").is_some());
+    qdgnn_obs::reset();
+}

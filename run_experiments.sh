@@ -1,13 +1,16 @@
 #!/bin/bash
 # Runs the full experiment campaign at the fast profile (single-core box).
-# Tables land in results/logs/<name>.txt, CSVs in results/.
+# Tables land in results/logs/<name>.txt, CSVs in results/, and each
+# binary's obs event stream in results/logs/<name>.jsonl (the
+# qdgnn-obs-validate / qdgnn-obs-flame input format).
 cd /root/repo
 BIN=target/release
 mkdir -p results/logs
 run() {
   name=$1; bin=$2; shift 2
   start=$SECONDS
-  "$BIN/$bin" "$@" > results/logs/$name.txt 2> results/logs/$name.err
+  "$BIN/$bin" "$@" --metrics-out results/logs/$name.jsonl \
+    > results/logs/$name.txt 2> results/logs/$name.err
   rc=$?
   echo "=== $name done rc=$rc in $((SECONDS-start))s ==="
 }

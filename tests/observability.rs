@@ -98,6 +98,32 @@ fn instrumented_resume_is_bit_identical() {
     qdgnn_obs::reset();
 }
 
+/// `TrainReport::train_seconds` reads the injectable obs wall clock, so
+/// a frozen [`FakeClock`] pins it to exactly zero — in plain builds too
+/// (the wall clock is compiled unconditionally, unlike the registry).
+#[test]
+fn train_seconds_follows_injected_wall_clock() {
+    use qdgnn_obs::clock::{self, FakeClock, MonotonicClock};
+    use std::sync::Arc;
+
+    let _l = obs_lock();
+    clock::set_wall(Arc::new(FakeClock::new()));
+    let (tensors, split) = toy_split();
+    let trained = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::fast() }).train(
+        AqdGnn::new(ModelConfig::fast(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    // `reset()` does not restore the clock in plain builds; do it by hand.
+    clock::set_wall(Arc::new(MonotonicClock::new()));
+    qdgnn_obs::reset();
+    assert_eq!(
+        trained.report.train_seconds, 0.0,
+        "frozen fake clock must yield zero train_seconds"
+    );
+}
+
 /// Serving one query must produce the serve.encode / serve.forward /
 /// serve.bfs breakdown nested under serve.query, plus the counters and
 /// size histograms the docs promise — and the stream must survive a

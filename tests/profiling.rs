@@ -1,0 +1,81 @@
+//! Profiling-layer properties: the obs histogram's interpolated
+//! quantiles must track the exact sample quantiles within the error its
+//! log₂ bucketing permits, for *any* sample set.
+//!
+//! The bound under test: the estimator picks the same log₂ bucket as
+//! the exact quantile, and any two values in one bucket `(2^(i-1), 2^i]`
+//! differ by at most a factor of two — so `p ≤ 2·exact + 1` and
+//! `exact ≤ 2·p + 1` (the `+1` absorbs bucket 0, which spans `[0, 1]`
+//! and has unbounded *relative* width near zero).
+
+use proptest::prelude::*;
+use qdgnn_obs::metrics::Histogram;
+
+/// Exact quantile under the histogram's rank convention (first value
+/// whose 1-based rank reaches `q * n`).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Both directions of the factor-2-plus-1 bucket bound.
+fn within_bucket_bound(est: f64, exact: f64) -> bool {
+    est <= 2.0 * exact + 1.0 && exact <= 2.0 * est + 1.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpolated_quantiles_stay_within_log2_bucket_error(
+        mut values in proptest::collection::vec(0.0f64..1.0e7, 1..200),
+        scale in 1.0f64..1000.0,
+    ) {
+        // Spread the raw uniform samples across several orders of
+        // magnitude so many buckets are exercised, not just the top one.
+        for (i, v) in values.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = (*v / scale).min(1.0e7);
+            }
+            if i % 7 == 0 {
+                *v /= scale * scale;
+            }
+        }
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot("prop");
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        for (q, est) in [(0.50, snap.p50), (0.95, snap.p95), (0.99, snap.p99)] {
+            let exact = exact_quantile(&sorted, q);
+            // Clamping keeps every estimate inside the observed range.
+            prop_assert!(est >= snap.min - 1e-9 && est <= snap.max + 1e-9,
+                "q{q}: {est} outside [{}, {}]", snap.min, snap.max);
+            prop_assert!(within_bucket_bound(est, exact),
+                "q{q}: est {est} vs exact {exact} breaks the log2-bucket bound");
+        }
+        // Quantiles are monotone in q.
+        prop_assert!(snap.p50 <= snap.p95 + 1e-9 && snap.p95 <= snap.p99 + 1e-9);
+    }
+
+    #[test]
+    fn point_mass_quantiles_are_exact(
+        v in 0.0f64..1.0e6,
+        n in 1usize..100,
+    ) {
+        // All mass on one value: clamping to [min, max] must make every
+        // quantile exact regardless of bucket width.
+        let h = Histogram::new();
+        for _ in 0..n {
+            h.observe(v);
+        }
+        let snap = h.snapshot("prop");
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert!((snap.quantile(q) - v).abs() < 1e-9);
+        }
+    }
+}
