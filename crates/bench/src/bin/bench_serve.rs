@@ -16,6 +16,11 @@
 //!     Re-measure and gate against the checked-in baselines with the
 //!     noise-tolerant best-round thresholds from qdgnn_bench::gate
 //!     (warn > ×1.10, fail > ×1.25). Exits nonzero on FAIL.
+//!
+//! qdgnn-bench serve-throughput [--datasets a,b] [--metrics-out M.jsonl]
+//!     Fast smoke: sequential vs batched serving QPS on a small dataset
+//!     subset (default cornell,texas), with an inline bit-identity check
+//!     of the batched scores. Exits nonzero on a degenerate measurement.
 //! ```
 //!
 //! A bare positional argument is accepted as the serve output path for
@@ -25,7 +30,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use qdgnn_bench::gate::{self, Verdict};
-use qdgnn_bench::measure::{measure_serve, measure_train, EventLog};
+use qdgnn_bench::measure::{measure_serve, measure_serve_on, measure_train, EventLog};
 use qdgnn_bench::report::{ServeReport, TrainBenchReport};
 
 fn fail(msg: &str) -> ExitCode {
@@ -42,7 +47,66 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("compare") => compare_main(&args[1..]),
         Some("serve") => serve_main(&args[1..]),
+        Some("serve-throughput") => throughput_main(&args[1..]),
         _ => serve_main(&args),
+    }
+}
+
+/// `serve-throughput` smoke: measure sequential vs batched serving QPS
+/// on a small dataset subset (default `cornell,texas`) and exit nonzero
+/// if the batched path produced no throughput. The measurement asserts
+/// batched/sequential bit-identity inline before timing, so this also
+/// smoke-tests correctness of the stacked forward pass at bench scale.
+fn throughput_main(args: &[String]) -> ExitCode {
+    let mut names = vec!["cornell".to_string(), "texas".to_string()];
+    let mut metrics_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--datasets" => match it.next() {
+                Some(v) => names = v.split(',').map(str::to_string).collect(),
+                None => return fail("--datasets needs a comma-separated list"),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(PathBuf::from(v)),
+                None => return fail("--metrics-out needs a path"),
+            },
+            flag => return fail(&format!("unknown serve-throughput flag `{flag}`")),
+        }
+    }
+    let mut datasets = Vec::new();
+    for name in &names {
+        match name.as_str() {
+            "cornell" => datasets.push(qdgnn_data::presets::cornell()),
+            "texas" => datasets.push(qdgnn_data::presets::texas()),
+            "fb_414" => datasets.push(qdgnn_data::presets::fb_414()),
+            "fb_686" => datasets.push(qdgnn_data::presets::fb_686()),
+            other => return fail(&format!("unknown dataset `{other}`")),
+        }
+    }
+
+    let mut log = EventLog::new(metrics_out);
+    let report = match measure_serve_on(&datasets, 1, &mut log).into_iter().next() {
+        Some(r) => r,
+        None => return fail("measurement produced no report"),
+    };
+    let mut broken = false;
+    for (name, d) in &report.datasets {
+        let t = &d.throughput;
+        println!(
+            "{name}: sequential {:.0} qps, batched(batch={}) {:.0} qps, speedup x{:.2}",
+            t.sequential_qps, t.batch_size, t.batched_qps, t.speedup()
+        );
+        if t.batched_qps <= 0.0 || t.sequential_qps <= 0.0 {
+            eprintln!("qdgnn-bench: {name}: degenerate throughput measurement");
+            broken = true;
+        }
+    }
+    let log_ok = finish_log(log);
+    if broken || !log_ok {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

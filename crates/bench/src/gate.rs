@@ -111,17 +111,27 @@ pub fn judge_higher_is_better(metric: String, baseline: f64, rounds: &[f64]) -> 
     Comparison { metric, baseline, best, ratio, verdict }
 }
 
-/// Gates every baseline dataset's serve p95 against the measured rounds.
+/// Gates every baseline dataset's serve p95 (lower is better) and
+/// batched serving throughput (higher is better) against the measured
+/// rounds.
 pub fn compare_serve(baseline: &ServeReport, rounds: &[ServeReport]) -> Vec<Comparison> {
-    baseline
-        .datasets
-        .iter()
-        .map(|(name, base)| {
-            let vals: Vec<f64> =
-                rounds.iter().filter_map(|r| r.get(name)).map(|d| d.serve.p95_us).collect();
-            judge_lower_is_better(format!("{name} serve.p95_us"), base.serve.p95_us, &vals)
-        })
-        .collect()
+    let mut out = Vec::new();
+    for (name, base) in &baseline.datasets {
+        let p95s: Vec<f64> =
+            rounds.iter().filter_map(|r| r.get(name)).map(|d| d.serve.p95_us).collect();
+        out.push(judge_lower_is_better(format!("{name} serve.p95_us"), base.serve.p95_us, &p95s));
+        let qps: Vec<f64> = rounds
+            .iter()
+            .filter_map(|r| r.get(name))
+            .map(|d| d.throughput.batched_qps)
+            .collect();
+        out.push(judge_higher_is_better(
+            format!("{name} serve.batched_qps"),
+            base.throughput.batched_qps,
+            &qps,
+        ));
+    }
+    out
 }
 
 /// Gates every baseline dataset's training throughput and peak live
@@ -201,17 +211,20 @@ mod tests {
         assert!(!baseline.datasets.is_empty());
 
         let comps = compare_serve(&baseline, std::slice::from_ref(&baseline));
-        assert_eq!(comps.len(), baseline.datasets.len());
+        assert_eq!(comps.len(), 2 * baseline.datasets.len(), "p95 + batched QPS per dataset");
         assert_eq!(overall(&comps), Verdict::Pass, "{comps:?}");
 
         let mut scaled = baseline.clone();
         for (_, d) in &mut scaled.datasets {
+            // A ×4 tighter latency budget and a ×4 higher throughput
+            // floor: the unchanged measurement must fail both gates.
             d.serve.p95_us /= 4.0;
+            d.throughput.batched_qps *= 4.0;
         }
         let comps = compare_serve(&scaled, std::slice::from_ref(&baseline));
         assert!(
             comps.iter().all(|c| c.verdict == Verdict::Fail),
-            "×4 over a scaled-down baseline must fail every dataset: {comps:?}"
+            "×4 over a scaled-down baseline must fail every metric: {comps:?}"
         );
         assert_eq!(overall(&comps), Verdict::Fail);
     }

@@ -9,18 +9,27 @@
 
 use std::io;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use qdgnn_core::models::AqdGnn;
 use qdgnn_core::{GraphTensors, OnlineStage, Trainer};
-use qdgnn_data::{AttrMode, Dataset};
+use qdgnn_data::{AttrMode, Dataset, Query};
 use qdgnn_obs::events::Event;
 use qdgnn_obs::metrics::MetricsSnapshot;
 
-use crate::report::{HistStats, ServeDataset, ServeReport, TrainBenchReport, TrainDataset};
+use crate::report::{
+    HistStats, ServeDataset, ServeReport, ThroughputStats, TrainBenchReport, TrainDataset,
+};
 use crate::{bench_model_config, bench_queries, bench_train_config};
 
 /// Serve repetitions per query inside one measurement round.
 pub const SERVE_ROUNDS_PER_QUERY: usize = 5;
+
+/// Chunk size of the batched throughput measurement.
+pub const THROUGHPUT_BATCH: usize = 16;
+
+/// Workload size (queries) of each throughput timing pass.
+pub const THROUGHPUT_QUERIES: usize = 48;
 
 /// The bench dataset suite (Fast-profile scale).
 pub fn bench_datasets() -> Vec<Dataset> {
@@ -96,17 +105,27 @@ fn hist_stats(snap: &MetricsSnapshot, name: &str) -> HistStats {
 /// round then serves every test query [`SERVE_ROUNDS_PER_QUERY`] times
 /// against a freshly reset registry.
 pub fn measure_serve(measure_rounds: usize, log: &mut EventLog) -> Vec<ServeReport> {
+    measure_serve_on(&bench_datasets(), measure_rounds, log)
+}
+
+/// [`measure_serve`] over an explicit dataset list (the
+/// `serve-throughput` smoke runs a small subset).
+pub fn measure_serve_on(
+    datasets: &[Dataset],
+    measure_rounds: usize,
+    log: &mut EventLog,
+) -> Vec<ServeReport> {
     let mut rounds: Vec<ServeReport> = (0..measure_rounds)
         .map(|_| ServeReport {
             rounds_per_query: SERVE_ROUNDS_PER_QUERY as u64,
             datasets: Vec::new(),
         })
         .collect();
-    for dataset in bench_datasets() {
+    for dataset in datasets {
         eprintln!("[qdgnn-bench] {}: training...", dataset.name);
         let mc = bench_model_config();
         let tensors = GraphTensors::new(&dataset.graph, mc.adj_norm, mc.fusion_graph_attr_cap);
-        let split = bench_queries(&dataset, AttrMode::FromCommunity, 1, 3);
+        let split = bench_queries(dataset, AttrMode::FromCommunity, 1, 3);
         let trained = Trainer::new(bench_train_config()).train(
             AqdGnn::new(mc, tensors.d),
             &tensors,
@@ -123,12 +142,18 @@ pub fn measure_serve(measure_rounds: usize, log: &mut EventLog) -> Vec<ServeRepo
                 }
             }
             let snap = qdgnn_obs::snapshot();
+            // Throughput runs after the latency snapshot so its extra
+            // queries never pollute the latency histograms above.
+            let throughput = measure_throughput(&stage, &split.test);
             eprintln!(
-                "[qdgnn-bench] {}: served {} queries, p50 {:.0}us p95 {:.0}us",
+                "[qdgnn-bench] {}: served {} queries, p50 {:.0}us p95 {:.0}us, {:.0} seq qps vs {:.0} batched qps (x{:.2})",
                 dataset.name,
                 snap.counter("serve.queries").unwrap_or(0),
                 snap.hist("serve.query").map(|h| h.p50).unwrap_or(0.0),
                 snap.hist("serve.query").map(|h| h.p95).unwrap_or(0.0),
+                throughput.sequential_qps,
+                throughput.batched_qps,
+                throughput.speedup(),
             );
             round.datasets.push((
                 dataset.name.clone(),
@@ -142,12 +167,55 @@ pub fn measure_serve(measure_rounds: usize, log: &mut EventLog) -> Vec<ServeRepo
                         .hist("serve.community_size")
                         .map(|h| h.mean())
                         .unwrap_or(0.0),
+                    throughput,
                 },
             ));
             log.reset();
         }
     }
     rounds
+}
+
+/// Times the sequential and batched serving paths over one workload
+/// (the test split cycled to [`THROUGHPUT_QUERIES`] queries), asserting
+/// inline that batched scores carry the exact bits of sequential scores
+/// before any timing. Both passes serve through the same cached stage,
+/// so the comparison isolates the batching itself.
+pub fn measure_throughput(stage: &OnlineStage<'_>, test_queries: &[Query]) -> ThroughputStats {
+    let workload: Vec<Query> =
+        test_queries.iter().cycle().take(THROUGHPUT_QUERIES).cloned().collect();
+    if workload.is_empty() {
+        return ThroughputStats::default();
+    }
+    // Bit-identity check on the first chunk — a throughput number for a
+    // batched path that changed the answers would be meaningless.
+    let first: Vec<Query> = workload.iter().take(THROUGHPUT_BATCH).cloned().collect();
+    for (q, res) in first.iter().zip(stage.try_scores_batch(&first)) {
+        let batched = res.expect("bench query must be valid");
+        let sequential = stage.try_scores(q).expect("bench query must be valid");
+        assert!(
+            sequential.iter().zip(&batched).all(|(s, b)| s.to_bits() == b.to_bits()),
+            "batched scores must be bit-identical to sequential"
+        );
+    }
+    let t0 = Instant::now();
+    for q in &workload {
+        let _ = stage.try_query(q).expect("bench query must be valid");
+    }
+    let sequential_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for chunk in workload.chunks(THROUGHPUT_BATCH) {
+        for r in stage.try_query_batch(chunk) {
+            let _ = r.expect("bench query must be valid");
+        }
+    }
+    let batched_s = t0.elapsed().as_secs_f64();
+    let n = workload.len() as f64;
+    ThroughputStats {
+        batch_size: THROUGHPUT_BATCH as u64,
+        sequential_qps: if sequential_s > 0.0 { n / sequential_s } else { 0.0 },
+        batched_qps: if batched_s > 0.0 { n / batched_s } else { 0.0 },
+    }
 }
 
 /// Runs the training benchmark `measure_rounds` times, returning one

@@ -23,6 +23,33 @@ pub struct HistStats {
     pub mean_us: f64,
 }
 
+/// Sequential-vs-batched serving throughput for one dataset.
+///
+/// Both numbers come from the same workload on the same stage: the
+/// sequential pass calls `try_query` once per query, the batched pass
+/// calls `try_query_batch` in chunks of `batch_size` (bit-identical
+/// scores — the measurement asserts it inline before timing).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThroughputStats {
+    /// Chunk size of the batched pass.
+    pub batch_size: u64,
+    /// One-query-at-a-time throughput, queries/second.
+    pub sequential_qps: f64,
+    /// Batched throughput, queries/second.
+    pub batched_qps: f64,
+}
+
+impl ThroughputStats {
+    /// Batched-over-sequential speedup (0 when sequential is degenerate).
+    pub fn speedup(&self) -> f64 {
+        if self.sequential_qps > 0.0 {
+            self.batched_qps / self.sequential_qps
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One dataset's serving measurement.
 #[derive(Clone, Debug, Default)]
 pub struct ServeDataset {
@@ -38,6 +65,8 @@ pub struct ServeDataset {
     pub bfs: HistStats,
     /// Mean returned community size.
     pub community_size_mean: f64,
+    /// Sequential-vs-batched throughput.
+    pub throughput: ThroughputStats,
 }
 
 /// The `BENCH_serve.json` document.
@@ -90,6 +119,15 @@ fn hist_from(v: &Value, key: &str) -> Result<HistStats, String> {
     })
 }
 
+fn throughput_from(v: &Value) -> Result<ThroughputStats, String> {
+    let t = v.get("throughput").ok_or("missing `throughput` object")?;
+    Ok(ThroughputStats {
+        batch_size: req_num(t, "batch_size")? as u64,
+        sequential_qps: req_num(t, "sequential_qps")?,
+        batched_qps: req_num(t, "batched_qps")?,
+    })
+}
+
 fn check_bench_kind(v: &Value, expected: &str) -> Result<(), String> {
     match v.get("bench").and_then(Value::as_str) {
         Some(k) if k == expected => Ok(()),
@@ -118,10 +156,17 @@ impl ServeReport {
                 hist_json(&mut body, h);
                 body.push_str(",\n");
             }
+            let _ = writeln!(
+                body,
+                "      \"community_size_mean\": {},",
+                json::num(d.community_size_mean)
+            );
             let _ = write!(
                 body,
-                "      \"community_size_mean\": {}\n    }}{}\n",
-                json::num(d.community_size_mean),
+                "      \"throughput\": {{\"batch_size\":{},\"sequential_qps\":{},\"batched_qps\":{}}}\n    }}{}\n",
+                d.throughput.batch_size,
+                json::num(d.throughput.sequential_qps),
+                json::num(d.throughput.batched_qps),
                 if i + 1 == self.datasets.len() { "" } else { "," }
             );
         }
@@ -150,6 +195,7 @@ impl ServeReport {
                     forward: hist_from(d, "forward")?,
                     bfs: hist_from(d, "bfs")?,
                     community_size_mean: req_num(d, "community_size_mean")?,
+                    throughput: throughput_from(d)?,
                 },
             ));
         }
@@ -218,6 +264,11 @@ mod tests {
                     forward: HistStats { p50_us: 770.0, p95_us: 1000.0, mean_us: 790.0 },
                     bfs: HistStats { p50_us: 7.0, p95_us: 15.0, mean_us: 8.75 },
                     community_size_mean: 30.5,
+                    throughput: ThroughputStats {
+                        batch_size: 16,
+                        sequential_qps: 1800.0,
+                        batched_qps: 3600.0,
+                    },
                 },
             )],
         }
@@ -234,7 +285,24 @@ mod tests {
         assert_eq!(d.queries_served, 75);
         assert!((d.serve.p95_us - 1004.0).abs() < 1e-9);
         assert!((d.bfs.mean_us - 8.75).abs() < 1e-9);
+        assert_eq!(d.throughput.batch_size, 16);
+        assert!((d.throughput.sequential_qps - 1800.0).abs() < 1e-9);
+        assert!((d.throughput.batched_qps - 3600.0).abs() < 1e-9);
+        assert!((d.throughput.speedup() - 2.0).abs() < 1e-12);
         assert!(back.get("nope").is_none());
+    }
+
+    #[test]
+    fn serve_parser_requires_the_throughput_section() {
+        // A pre-throughput report (old schema) must be rejected, so the
+        // checked-in baseline can never silently skip the QPS gate.
+        let mut report = sample_serve();
+        report.datasets[0].1.throughput = ThroughputStats::default();
+        let text = report.to_json().replace(
+            "\"throughput\": {\"batch_size\":0,\"sequential_qps\":0,\"batched_qps\":0}",
+            "\"throughput\": {\"batch_size\":0}",
+        );
+        assert!(ServeReport::from_json(&text).is_err());
     }
 
     #[test]

@@ -130,6 +130,91 @@ impl QueryVectors {
     }
 }
 
+/// `K` encoded queries stacked vertically for one batched forward pass
+/// (the serving engine's unit of work).
+///
+/// Block `i` of [`QueryBatch::vertex_onehot`] (rows `i·n .. (i+1)·n`) is
+/// query `i`'s `v_q` column, and likewise for the attribute one-hots —
+/// the layout `Csr::spmm_blocked` and every row-wise tape op consume
+/// without reshuffling, which is what keeps batched scores bit-identical
+/// to the sequential path.
+#[derive(Clone, Debug)]
+pub struct QueryBatch {
+    /// Stacked `v_q` columns, `K·n × 1`.
+    pub vertex_onehot: Dense,
+    /// Stacked `f_q` columns, `K·d × 1`.
+    pub attr_onehot: Dense,
+    queries: Vec<QueryVectors>,
+    n: usize,
+    d: usize,
+}
+
+impl QueryBatch {
+    /// Stacks already-encoded queries into one batch.
+    ///
+    /// Every query must have been encoded against the same graph
+    /// dimensions; a mismatch (or an empty slice) surfaces as a typed
+    /// error, never a panic — this is a serving-path entry point.
+    pub fn try_stack(queries: &[QueryVectors]) -> Result<Self, QdgnnError> {
+        let Some(first) = queries.first() else {
+            return Err(QdgnnError::invalid("query batch must contain at least one query"));
+        };
+        let n = first.vertex_onehot.rows();
+        let d = first.attr_onehot.rows();
+        let k = queries.len();
+        let mut v = Dense::zeros(n * k, 1);
+        let mut f = Dense::zeros(d * k, 1);
+        for (i, q) in queries.iter().enumerate() {
+            if q.vertex_onehot.shape() != (n, 1) || q.attr_onehot.shape() != (d, 1) {
+                return Err(QdgnnError::invalid(format!(
+                    "query {i} shaped {:?}/{:?} does not match batch dimensions ({n}, 1)/({d}, 1)",
+                    q.vertex_onehot.shape(),
+                    q.attr_onehot.shape()
+                )));
+            }
+        }
+        // Shapes validated above, so each query fills exactly one chunk
+        // (chunks_mut needs a positive chunk size; a zero dim has no
+        // data to copy anyway).
+        if n > 0 {
+            for (chunk, q) in v.as_mut_slice().chunks_mut(n).zip(queries) {
+                chunk.copy_from_slice(q.vertex_onehot.as_slice());
+            }
+        }
+        if d > 0 {
+            for (chunk, q) in f.as_mut_slice().chunks_mut(d).zip(queries) {
+                chunk.copy_from_slice(q.attr_onehot.as_slice());
+            }
+        }
+        Ok(QueryBatch { vertex_onehot: v, attr_onehot: f, queries: queries.to_vec(), n, d })
+    }
+
+    /// Number of queries `K` in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch is empty (never true for a constructed batch).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Vertex count `n` the queries were encoded against.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Attribute vocabulary size `d` the queries were encoded against.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The stacked queries, in batch order.
+    pub fn queries(&self) -> &[QueryVectors] {
+        &self.queries
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +256,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn query_vertex_out_of_range() {
         let _ = QueryVectors::encode(3, 1, &[7], &[]);
+    }
+
+    #[test]
+    fn query_batch_stacks_blockwise() {
+        let q0 = QueryVectors::encode(4, 2, &[1], &[0]);
+        let q1 = QueryVectors::encode(4, 2, &[0, 3], &[]);
+        let b = QueryBatch::try_stack(&[q0.clone(), q1.clone()]).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!((b.n(), b.d()), (4, 2));
+        assert_eq!(b.vertex_onehot.shape(), (8, 1));
+        assert_eq!(&b.vertex_onehot.as_slice()[..4], q0.vertex_onehot.as_slice());
+        assert_eq!(&b.vertex_onehot.as_slice()[4..], q1.vertex_onehot.as_slice());
+        assert_eq!(&b.attr_onehot.as_slice()[..2], q0.attr_onehot.as_slice());
+        assert_eq!(&b.attr_onehot.as_slice()[2..], q1.attr_onehot.as_slice());
+    }
+
+    #[test]
+    fn query_batch_rejects_empty_and_mismatched() {
+        assert!(QueryBatch::try_stack(&[]).is_err());
+        let q0 = QueryVectors::encode(4, 2, &[1], &[]);
+        let q1 = QueryVectors::encode(5, 2, &[1], &[]);
+        assert!(QueryBatch::try_stack(&[q0, q1]).is_err());
     }
 }

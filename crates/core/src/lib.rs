@@ -35,7 +35,7 @@ pub mod train;
 pub use config::{FusionAgg, ModelConfig};
 pub use error::QdgnnError;
 pub use identify::{identify_community, try_identify_community};
-pub use inputs::{GraphTensors, QueryVectors};
+pub use inputs::{GraphTensors, QueryBatch, QueryVectors};
 pub use models::{AqdGnn, CsModel, ForwardResult, GraphCache, QdGnn, SimpleQdGnn};
 pub use serve::OnlineStage;
 pub use train::{TrainConfig, TrainReport, TrainedModel, Trainer};

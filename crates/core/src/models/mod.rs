@@ -129,6 +129,26 @@ pub trait CsModel: Send + Sync {
         self.forward(tape, inputs, query, Mode::Eval, rng)
     }
 
+    /// Records one eval-mode forward pass over a whole [`QueryBatch`] —
+    /// `K` queries stacked vertically so each tape op runs once per layer
+    /// instead of once per query. Returns the stacked `K·n × 1` logits,
+    /// bit-identical per row block to `K` sequential [`CsModel::forward`]
+    /// (or `forward_cached`) passes, or `None` when the model has no
+    /// batched path (callers fall back to sequential scoring).
+    ///
+    /// `cache` is optional: with a cache the graph branch is reused, and
+    /// without one it is still computed only once (at `n` rows) before
+    /// tiling, so batching pays off either way.
+    fn forward_batched_eval(
+        &self,
+        _tape: &mut Tape,
+        _inputs: &GraphTensors,
+        _cache: Option<&GraphCache>,
+        _batch: &crate::inputs::QueryBatch,
+    ) -> Option<Var> {
+        None
+    }
+
     /// Folds a batch's BN statistics into the running estimates.
     fn apply_bn_stats(&mut self, stats: &[(usize, BnStats)]) {
         for (idx, s) in stats {
@@ -211,6 +231,16 @@ impl CsModel for Box<dyn CsModel> {
     ) -> ForwardResult {
         (**self).forward_cached(tape, inputs, cache, query, rng)
     }
+
+    fn forward_batched_eval(
+        &self,
+        tape: &mut Tape,
+        inputs: &GraphTensors,
+        cache: Option<&GraphCache>,
+        batch: &crate::inputs::QueryBatch,
+    ) -> Option<Var> {
+        (**self).forward_batched_eval(tape, inputs, cache, batch)
+    }
 }
 
 /// Runs an inference (eval-mode) forward pass and returns per-vertex
@@ -239,6 +269,40 @@ pub fn predict_scores_cached(
     let result = model.forward_cached(&mut tape, inputs, cache, query, &mut rng);
     let scores = tape.sigmoid(result.logits);
     tape.value(scores).as_slice().to_vec()
+}
+
+/// Batched inference: scores `K` stacked queries in one eval-mode
+/// forward pass and splits the result back into per-query score vectors
+/// (batch order). Bit-identical to calling [`predict_scores`] /
+/// [`predict_scores_cached`] per query; models without a batched path
+/// fall back to exactly that.
+pub fn predict_scores_batch(
+    model: &dyn CsModel,
+    inputs: &GraphTensors,
+    cache: Option<&GraphCache>,
+    batch: &crate::inputs::QueryBatch,
+) -> Vec<Vec<f32>> {
+    // Batched buffers are K× the single-query sizes; with default malloc
+    // tunables they round-trip through the kernel every batch (mmap/trim)
+    // and the page faults dominate. Idempotent, one-time tuning.
+    qdgnn_tensor::tune_for_batch_serving();
+    let mut tape = Tape::new();
+    match model.forward_batched_eval(&mut tape, inputs, cache, batch) {
+        Some(logits) => {
+            let scores = tape.sigmoid(logits);
+            let flat = tape.value(scores).as_slice();
+            let n = batch.n();
+            flat.chunks(n.max(1)).map(|c| c.to_vec()).collect()
+        }
+        None => batch
+            .queries()
+            .iter()
+            .map(|q| match cache {
+                Some(c) => predict_scores_cached(model, inputs, c, q),
+                None => predict_scores(model, inputs, q),
+            })
+            .collect(),
+    }
 }
 
 /// Builds the model's scalar output head (fused features → logits).

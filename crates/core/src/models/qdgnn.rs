@@ -115,8 +115,9 @@ impl QdGnn {
         out
     }
 
-    /// Runs the query-dependent part given per-layer Graph Encoder
-    /// outputs (freshly computed or cached).
+    /// Runs the query-dependent part given the (possibly batch-stacked)
+    /// query one-hot `qv` and per-layer Graph Encoder outputs (freshly
+    /// computed, cached, or cache-tiled for a batch).
     // Several parallel arrays (layers, fusions, cached g) are indexed by
     // the same layer counter; an iterator rewrite would obscure that.
     #[allow(clippy::needless_range_loop)]
@@ -124,11 +125,10 @@ impl QdGnn {
         &self,
         ctx: &mut ForwardCtx<'_, R>,
         inputs: &GraphTensors,
-        query: &QueryVectors,
+        qv: Var,
         g_vars: &[Var],
     ) -> Var {
         let adj = (&inputs.adj, &inputs.adj_t);
-        let qv = ctx.tape.constant(query.vertex_onehot.clone());
         // Layer 1 (Algorithm 2, lines 6–8).
         let mut q = self.q_layers[0].forward(
             ctx,
@@ -194,7 +194,8 @@ impl CsModel for QdGnn {
             rng,
         );
         let g_vars = self.graph_branch(&mut ctx, inputs);
-        let logits = self.query_branch_and_head(&mut ctx, inputs, query, &g_vars);
+        let qv = ctx.tape.constant(query.vertex_onehot.clone());
+        let logits = self.query_branch_and_head(&mut ctx, inputs, qv, &g_vars);
         ForwardResult { logits, leaves: ctx.leaves, bn_stats: ctx.stats }
     }
 
@@ -237,8 +238,45 @@ impl CsModel for QdGnn {
             .iter()
             .map(|layer| ctx.tape.leaf(std::sync::Arc::clone(layer)))
             .collect();
-        let logits = self.query_branch_and_head(&mut ctx, inputs, query, &g_vars);
+        let qv = ctx.tape.constant(query.vertex_onehot.clone());
+        let logits = self.query_branch_and_head(&mut ctx, inputs, qv, &g_vars);
         ForwardResult { logits, leaves: ctx.leaves, bn_stats: ctx.stats }
+    }
+
+    fn forward_batched_eval(
+        &self,
+        tape: &mut Tape,
+        inputs: &GraphTensors,
+        cache: Option<&super::GraphCache>,
+        batch: &crate::inputs::QueryBatch,
+    ) -> Option<Var> {
+        let k = batch.len();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = ForwardCtx::new(
+            tape,
+            &self.store,
+            &self.bns,
+            Mode::Eval,
+            Dropout::new(self.config.dropout),
+            &mut rng,
+        );
+        // Graph branch once at n rows (cached or fresh), then tiled K×
+        // so every query in the batch fuses against its own copy.
+        let g_base: Vec<std::sync::Arc<qdgnn_tensor::Dense>> = match cache {
+            Some(c) => {
+                assert_eq!(c.layers.len(), self.config.layers, "cache layer-count mismatch");
+                c.layers.iter().map(std::sync::Arc::clone).collect()
+            }
+            None => {
+                let g_vars = self.graph_branch(&mut ctx, inputs);
+                g_vars.iter().map(|&v| std::sync::Arc::clone(ctx.tape.value(v))).collect()
+            }
+        };
+        let g_tiled: Vec<Var> =
+            g_base.iter().map(|l| ctx.tape.constant(l.tile_rows(k))).collect();
+        let qv = ctx.tape.constant(batch.vertex_onehot.clone());
+        ctx.blocks = k;
+        Some(self.query_branch_and_head(&mut ctx, inputs, qv, &g_tiled))
     }
 }
 

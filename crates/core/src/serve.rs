@@ -4,20 +4,59 @@
 //!
 //! This is the deployment shape the paper's framework implies (§4.3):
 //! training happened offline, and each arriving query costs one
-//! query-branch inference plus a constrained BFS.
+//! query-branch inference plus a constrained BFS. Queries can be served
+//! one at a time ([`OnlineStage::try_query`]) or in batches
+//! ([`OnlineStage::try_query_batch`]) — the batched path stacks every
+//! valid query into a single forward pass (one tape op per layer instead
+//! of one per query) and is bit-identical to the sequential path.
+
+use std::sync::Arc;
 
 use qdgnn_data::Query;
 use qdgnn_graph::{CommunityMetrics, VertexId};
 
 use crate::error::QdgnnError;
 use crate::identify::identify_community;
-use crate::inputs::{GraphTensors, QueryVectors};
-use crate::models::{predict_scores, predict_scores_cached, CsModel, GraphCache};
+use crate::inputs::{GraphTensors, QueryBatch, QueryVectors};
+use crate::models::{
+    predict_scores, predict_scores_batch, predict_scores_cached, CsModel, GraphCache,
+};
+
+/// Model handle held by an [`OnlineStage`]: borrowed from the caller or
+/// shared via [`Arc`] (so the stage can be `'static` for worker threads).
+enum ModelRef<'a> {
+    Borrowed(&'a dyn CsModel),
+    Shared(Arc<dyn CsModel>),
+}
+
+impl ModelRef<'_> {
+    fn get(&self) -> &dyn CsModel {
+        match self {
+            ModelRef::Borrowed(m) => *m,
+            ModelRef::Shared(m) => m.as_ref(),
+        }
+    }
+}
+
+/// Graph-tensor handle: borrowed or [`Arc`]-shared, like [`ModelRef`].
+enum TensorsRef<'a> {
+    Borrowed(&'a GraphTensors),
+    Shared(Arc<GraphTensors>),
+}
+
+impl TensorsRef<'_> {
+    fn get(&self) -> &GraphTensors {
+        match self {
+            TensorsRef::Borrowed(t) => t,
+            TensorsRef::Shared(t) => t.as_ref(),
+        }
+    }
+}
 
 /// A ready-to-serve community-search endpoint.
 pub struct OnlineStage<'a> {
-    model: &'a dyn CsModel,
-    tensors: &'a GraphTensors,
+    model: ModelRef<'a>,
+    tensors: TensorsRef<'a>,
     cache: Option<GraphCache>,
     gamma: f32,
 }
@@ -27,7 +66,38 @@ impl<'a> OnlineStage<'a> {
     /// the model has a query-independent branch.
     pub fn new(model: &'a dyn CsModel, tensors: &'a GraphTensors, gamma: f32) -> Self {
         let cache = model.build_graph_cache(tensors);
-        OnlineStage { model, tensors, cache, gamma }
+        OnlineStage {
+            model: ModelRef::Borrowed(model),
+            tensors: TensorsRef::Borrowed(tensors),
+            cache,
+            gamma,
+        }
+    }
+
+    /// Like [`OnlineStage::new`], but takes shared ownership of the model
+    /// and tensors, producing a `'static` stage that worker threads can
+    /// hold (the serving engine's deployment shape).
+    pub fn new_shared(
+        model: Arc<dyn CsModel>,
+        tensors: Arc<GraphTensors>,
+        gamma: f32,
+    ) -> OnlineStage<'static> {
+        let cache = model.build_graph_cache(&tensors);
+        OnlineStage {
+            model: ModelRef::Shared(model),
+            tensors: TensorsRef::Shared(tensors),
+            cache,
+            gamma,
+        }
+    }
+
+    fn model(&self) -> &dyn CsModel {
+        self.model.get()
+    }
+
+    /// The graph tensors this stage serves against.
+    pub fn tensors(&self) -> &GraphTensors {
+        self.tensors.get()
     }
 
     /// The serving threshold γ.
@@ -38,6 +108,24 @@ impl<'a> OnlineStage<'a> {
     /// Whether the Graph Encoder cache is active.
     pub fn is_cached(&self) -> bool {
         self.cache.is_some()
+    }
+
+    /// Validates one query against the served graph and encodes it,
+    /// with the exact semantics of [`OnlineStage::try_scores`] (EmA
+    /// attribute dropping for non-attributed models, but out-of-range
+    /// attribute ids always rejected).
+    fn encode_validated(&self, query: &Query) -> Result<QueryVectors, QdgnnError> {
+        let t = self.tensors();
+        // Validate all attributes, including ones a non-attributed model
+        // would drop (EmA semantics): an out-of-range id means the query
+        // was built against a different graph, which should not pass
+        // silently.
+        if let Some(&a) = query.attrs.iter().find(|&&a| (a as usize) >= t.d) {
+            return Err(QdgnnError::AttrOutOfRange { attr: a, d: t.d });
+        }
+        let attrs: &[u32] = if self.model().uses_attributes() { &query.attrs } else { &[] };
+        let _s = qdgnn_obs::span!("serve.encode");
+        QueryVectors::try_encode(t.n, t.d, &query.vertices, attrs)
     }
 
     /// Per-vertex community scores `h_q` for one query.
@@ -58,23 +146,59 @@ impl<'a> OnlineStage<'a> {
     /// returns a typed error instead of aborting. This is the entry point
     /// for untrusted (user-supplied) queries.
     pub fn try_scores(&self, query: &Query) -> Result<Vec<f32>, QdgnnError> {
-        // Validate all attributes, including ones a non-attributed model
-        // would drop (EmA semantics): an out-of-range id means the query
-        // was built against a different graph, which should not pass
-        // silently.
-        if let Some(&a) = query.attrs.iter().find(|&&a| (a as usize) >= self.tensors.d) {
-            return Err(QdgnnError::AttrOutOfRange { attr: a, d: self.tensors.d });
-        }
-        let attrs: &[u32] = if self.model.uses_attributes() { &query.attrs } else { &[] };
-        let qv = {
-            let _s = qdgnn_obs::span!("serve.encode");
-            QueryVectors::try_encode(self.tensors.n, self.tensors.d, &query.vertices, attrs)?
-        };
+        let qv = self.encode_validated(query)?;
         let _s = qdgnn_obs::span!("serve.forward");
         Ok(match &self.cache {
-            Some(cache) => predict_scores_cached(self.model, self.tensors, cache, &qv),
-            None => predict_scores(self.model, self.tensors, &qv),
+            Some(cache) => predict_scores_cached(self.model(), self.tensors(), cache, &qv),
+            None => predict_scores(self.model(), self.tensors(), &qv),
         })
+    }
+
+    /// Scores a slice of queries in one stacked forward pass, with
+    /// per-query error isolation: a malformed query yields its own `Err`
+    /// without affecting the rest of the batch. Results are returned in
+    /// input order and are bit-identical to calling
+    /// [`OnlineStage::try_scores`] per query.
+    pub fn try_scores_batch(&self, queries: &[Query]) -> Vec<Result<Vec<f32>, QdgnnError>> {
+        let _s = qdgnn_obs::span!("serve.forward_batch");
+        qdgnn_obs::observe("serve.batch_size", queries.len() as f64);
+        let mut out: Vec<Result<Vec<f32>, QdgnnError>> = Vec::with_capacity(queries.len());
+        let mut valid: Vec<(usize, QueryVectors)> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            match self.encode_validated(q) {
+                Ok(qv) => {
+                    valid.push((i, qv));
+                    // placeholder, overwritten from the batch result below
+                    out.push(Err(QdgnnError::EmptyQuery));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        if valid.is_empty() {
+            return out;
+        }
+        let vectors: Vec<QueryVectors> = valid.iter().map(|(_, qv)| qv.clone()).collect();
+        let batch = match QueryBatch::try_stack(&vectors) {
+            Ok(b) => b,
+            Err(e) => {
+                // Stacking only fails on shape mismatches, which encoding
+                // against one graph rules out — but never panic in serving.
+                let msg = e.to_string();
+                for (i, _) in &valid {
+                    if let Some(slot) = out.get_mut(*i) {
+                        *slot = Err(QdgnnError::invalid(msg.clone()));
+                    }
+                }
+                return out;
+            }
+        };
+        let scores = predict_scores_batch(self.model(), self.tensors(), self.cache.as_ref(), &batch);
+        for ((i, _), s) in valid.iter().zip(scores) {
+            if let Some(slot) = out.get_mut(*i) {
+                *slot = Ok(s);
+            }
+        }
+        out
     }
 
     /// Full online answer: inference plus constrained BFS (Algorithm 1,
@@ -97,21 +221,58 @@ impl<'a> OnlineStage<'a> {
         let _query_span = qdgnn_obs::span!("serve.query");
         qdgnn_obs::counter("serve.queries").inc();
         let scores = self.try_scores(query)?;
-        let attributed = self.model.uses_attributes() && !query.attrs.is_empty();
-        let community = {
-            let _s = qdgnn_obs::span!("serve.bfs");
-            identify_community(self.tensors, &query.vertices, &scores, self.gamma, attributed)
-        };
-        qdgnn_obs::observe("serve.community_size", community.len() as f64);
-        Ok(community)
+        Ok(self.identify(query, &scores))
     }
 
-    /// Evaluates the endpoint over a query set (micro metrics).
+    /// Batched variant of [`OnlineStage::try_query`]: one stacked forward
+    /// pass for every valid query, then a per-query constrained BFS.
+    /// Per-query error isolation and input-order results, like
+    /// [`OnlineStage::try_scores_batch`].
+    pub fn try_query_batch(&self, queries: &[Query]) -> Vec<Result<Vec<VertexId>, QdgnnError>> {
+        let _query_span = qdgnn_obs::span!("serve.query_batch");
+        qdgnn_obs::counter("serve.queries").inc_by(queries.len() as u64);
+        self.try_scores_batch(queries)
+            .into_iter()
+            .zip(queries)
+            .map(|(res, q)| res.map(|scores| self.identify(q, &scores)))
+            .collect()
+    }
+
+    /// The post-inference community-identification step (constrained BFS
+    /// plus community-size accounting), shared by all query entry points.
+    fn identify(&self, query: &Query, scores: &[f32]) -> Vec<VertexId> {
+        let attributed = self.model().uses_attributes() && !query.attrs.is_empty();
+        let community = {
+            let _s = qdgnn_obs::span!("serve.bfs");
+            identify_community(self.tensors(), &query.vertices, scores, self.gamma, attributed)
+        };
+        qdgnn_obs::observe("serve.community_size", community.len() as f64);
+        community
+    }
+
+    /// Evaluates the endpoint over a query set (micro metrics), scoring
+    /// the queries through the batched path in chunks of
+    /// [`OnlineStage::EVAL_CHUNK`].
+    ///
+    /// # Panics
+    /// Panics on malformed queries (evaluation sets are trusted input).
     pub fn evaluate(&self, queries: &[Query]) -> CommunityMetrics {
-        let predicted: Vec<Vec<VertexId>> = queries.iter().map(|q| self.query(q)).collect();
+        let predicted: Vec<Vec<VertexId>> = queries
+            .chunks(Self::EVAL_CHUNK.max(1))
+            .flat_map(|chunk| self.try_query_batch(chunk))
+            .map(|r| match r {
+                Ok(c) => c,
+                // qdgnn-analyze: allow(QD001, reason = "documented trusted-input variant; untrusted queries go through try_query_batch")
+                Err(e) => panic!("invalid query in evaluation set: {e}"),
+            })
+            .collect();
         let truth: Vec<Vec<VertexId>> = queries.iter().map(|q| q.truth.clone()).collect();
         CommunityMetrics::micro(&predicted, &truth)
     }
+
+    /// Batch-chunk size used by [`OnlineStage::evaluate`]: bounds the
+    /// stacked working set while keeping the per-layer amortization.
+    pub const EVAL_CHUNK: usize = 32;
 }
 
 #[cfg(test)]
@@ -200,5 +361,62 @@ mod tests {
         let q = qgen::generate(&data, 1, 1, 1, AttrMode::Empty, 1).remove(0);
         let c = stage.query(&q);
         assert!(c.contains(&q.vertices[0]));
+    }
+
+    #[test]
+    fn batch_results_are_bit_identical_and_error_isolated() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let model = AqdGnn::new(ModelConfig::fast(), t.d);
+        let stage = OnlineStage::new(&model, &t, 0.5);
+        let mut queries = qgen::generate(&data, 6, 1, 2, AttrMode::FromCommunity, 5);
+        // Plant malformed queries in the middle of the batch.
+        queries.insert(2, Query { vertices: vec![], attrs: vec![], truth: vec![] });
+        queries.insert(4, Query { vertices: vec![t.n as u32], attrs: vec![], truth: vec![] });
+        let batch = stage.try_scores_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, res) in queries.iter().zip(&batch) {
+            match res {
+                Ok(scores) => {
+                    let seq = stage.try_scores(q).unwrap();
+                    let same = scores
+                        .iter()
+                        .zip(&seq)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "batched scores must be bit-identical to sequential");
+                }
+                Err(e) => assert!(e.is_bad_input(), "unexpected batch error: {e}"),
+            }
+        }
+        assert!(batch[2].is_err() && batch[4].is_err());
+        assert_eq!(batch.iter().filter(|r| r.is_ok()).count(), 6);
+
+        let communities = stage.try_query_batch(&queries);
+        for (q, res) in queries.iter().zip(&communities) {
+            match res {
+                Ok(c) => assert_eq!(c, &stage.try_query(q).unwrap()),
+                Err(e) => assert!(e.is_bad_input()),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_stage_is_static_and_matches_borrowed() {
+        let data = presets::toy();
+        let t = GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100);
+        let model = AqdGnn::new(ModelConfig::fast(), t.d);
+        let q = qgen::generate(&data, 1, 1, 1, AttrMode::FromCommunity, 3).remove(0);
+        let borrowed = OnlineStage::new(&model, &t, 0.5);
+        let expect = borrowed.try_scores(&q).unwrap();
+
+        let shared: OnlineStage<'static> =
+            OnlineStage::new_shared(Arc::new(model), Arc::new(t), 0.5);
+        fn assert_static<T: 'static + Send + Sync>(_: &T) {}
+        assert_static(&shared);
+        let got = shared.try_scores(&q).unwrap();
+        assert_eq!(
+            expect.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
     }
 }

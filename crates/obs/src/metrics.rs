@@ -392,7 +392,7 @@ mod tests {
 
     #[test]
     fn quantiles_of_point_mass() {
-        let s = filled(std::iter::repeat(42.0).take(100));
+        let s = filled(std::iter::repeat_n(42.0, 100));
         // Every sample in one bucket, clamped to exact min/max.
         assert!((s.p50 - 42.0).abs() < 1e-9, "p50={}", s.p50);
         assert!((s.p99 - 42.0).abs() < 1e-9, "p99={}", s.p99);

@@ -1,0 +1,85 @@
+//! The adaptive batching policy, factored out of the worker loop so the
+//! flush decision is a pure function of (queue state, clock) — unit- and
+//! fake-clock-testable without threads.
+
+/// What a worker holding the queue lock should do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchDecision {
+    /// Drain a batch now.
+    Flush,
+    /// Keep waiting, but at most this many microseconds before the
+    /// oldest request's deadline expires (re-evaluate on wake-up).
+    WaitAtMost(u64),
+}
+
+/// The flush policy: batch-size threshold plus an oldest-request
+/// deadline.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Flush once the oldest queued request is this old (µs).
+    pub max_wait_us: u64,
+}
+
+impl BatchPolicy {
+    /// Decides whether a worker should flush, given `queued` waiting
+    /// requests of which the oldest was enqueued at `oldest_enqueue_us`,
+    /// and the current engine-clock reading `now_us`.
+    ///
+    /// With `queued == 0` there is nothing to flush and the answer is
+    /// an unbounded wait, encoded as `WaitAtMost(u64::MAX)`.
+    pub fn decide(&self, queued: usize, oldest_enqueue_us: u64, now_us: u64) -> BatchDecision {
+        if queued == 0 {
+            return BatchDecision::WaitAtMost(u64::MAX);
+        }
+        if queued >= self.max_batch {
+            return BatchDecision::Flush;
+        }
+        let deadline = oldest_enqueue_us.saturating_add(self.max_wait_us);
+        if now_us >= deadline {
+            BatchDecision::Flush
+        } else {
+            BatchDecision::WaitAtMost(deadline - now_us)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: BatchPolicy = BatchPolicy { max_batch: 4, max_wait_us: 1_000 };
+
+    #[test]
+    fn full_batch_flushes_immediately() {
+        assert_eq!(POLICY.decide(4, 0, 0), BatchDecision::Flush);
+        assert_eq!(POLICY.decide(9, 0, 0), BatchDecision::Flush);
+    }
+
+    #[test]
+    fn partial_batch_waits_out_the_deadline_exactly() {
+        // Oldest request enqueued at t=100, deadline t=1100.
+        assert_eq!(POLICY.decide(1, 100, 100), BatchDecision::WaitAtMost(1_000));
+        assert_eq!(POLICY.decide(2, 100, 1_099), BatchDecision::WaitAtMost(1));
+        assert_eq!(POLICY.decide(2, 100, 1_100), BatchDecision::Flush);
+        assert_eq!(POLICY.decide(2, 100, 5_000), BatchDecision::Flush);
+    }
+
+    #[test]
+    fn zero_wait_budget_flushes_any_nonempty_queue() {
+        let p = BatchPolicy { max_batch: 64, max_wait_us: 0 };
+        assert_eq!(p.decide(1, 42, 42), BatchDecision::Flush);
+    }
+
+    #[test]
+    fn empty_queue_waits_unbounded() {
+        assert_eq!(POLICY.decide(0, 0, 99), BatchDecision::WaitAtMost(u64::MAX));
+    }
+
+    #[test]
+    fn deadline_saturates_instead_of_wrapping() {
+        let p = BatchPolicy { max_batch: 8, max_wait_us: u64::MAX };
+        assert_eq!(p.decide(1, u64::MAX - 5, u64::MAX - 1), BatchDecision::WaitAtMost(1));
+    }
+}

@@ -1,0 +1,71 @@
+//! Engine configuration.
+
+use crate::error::ServeError;
+
+/// Tunables of the batching engine.
+///
+/// The adaptive batcher drains up to [`ServeConfig::max_batch`] queued
+/// requests into one stacked forward pass, flushing early once the
+/// oldest queued request has waited [`ServeConfig::max_wait_us`] — so an
+/// idle engine answers a lone request within the wait budget, and a busy
+/// engine amortizes one forward across a full batch.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum requests stacked into one forward pass.
+    pub max_batch: usize,
+    /// Deadline (µs, engine clock) from the oldest queued request's
+    /// submission to its batch being flushed. `0` disables batching
+    /// delays entirely: every drain takes whatever is queued right now.
+    pub max_wait_us: u64,
+    /// Bounded submission-queue capacity; submissions beyond it are
+    /// rejected with [`ServeError::QueueFull`] (backpressure, never
+    /// blocking the submitter).
+    pub queue_capacity: usize,
+    /// Worker threads executing batches.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            max_wait_us: 2_000,
+            queue_capacity: 256,
+            workers: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration, returning a typed error on nonsense
+    /// values (the engine refuses to start rather than deadlock).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be at least 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig("queue_capacity must be at least 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_degenerate_values_are_rejected() {
+        assert!(ServeConfig::default().validate().is_ok());
+        for bad in [
+            ServeConfig { max_batch: 0, ..ServeConfig::default() },
+            ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
+            ServeConfig { workers: 0, ..ServeConfig::default() },
+        ] {
+            assert!(matches!(bad.validate(), Err(ServeError::InvalidConfig(_))));
+        }
+    }
+}

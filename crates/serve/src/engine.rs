@@ -1,0 +1,418 @@
+//! The batching serving engine: a bounded submission queue drained by a
+//! worker pool into stacked forward passes.
+//!
+//! Life of a request: [`ServeEngine::submit`] stamps it with the engine
+//! clock and enqueues it (rejecting with [`ServeError::QueueFull`] or
+//! [`ServeError::ShuttingDown`] instead of ever blocking the caller); a
+//! worker wakes, asks the [`BatchPolicy`] whether to flush, drains up to
+//! `max_batch` requests FIFO, runs one
+//! [`OnlineStage::try_query_batch`] outside the queue lock, and answers
+//! each request on its private reply channel. Per-query error isolation
+//! comes from the stage: one malformed query in a batch fails alone.
+//!
+//! Shutdown is graceful by construction: [`ServeEngine::shutdown`] (or
+//! `Drop`) flips the shutdown flag — which atomically stops admissions —
+//! then workers keep flushing until the queue is empty and exit, so
+//! every accepted request gets exactly one response.
+//!
+//! Time flows through an injected [`Clock`], never a direct wall-clock
+//! read: workers bound their real condvar waits to a short poll tick and
+//! re-consult the injected clock for every deadline decision, so a
+//! [`FakeClock`](qdgnn_obs::clock::FakeClock) test can freeze or advance
+//! batching time deterministically.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use qdgnn_core::OnlineStage;
+use qdgnn_data::Query;
+use qdgnn_graph::VertexId;
+use qdgnn_obs::clock::{Clock, MonotonicClock};
+
+use crate::batcher::{BatchDecision, BatchPolicy};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+
+/// Upper bound on one real condvar wait (µs). Workers sleep at most this
+/// long before re-reading the injected clock, which keeps deadline
+/// decisions responsive to a hand-advanced fake clock while costing an
+/// idle engine about one wake-up per millisecond.
+const POLL_TICK_US: u64 = 1_000;
+
+type Reply = Result<Vec<VertexId>, ServeError>;
+
+/// One queued request: the query, its admission timestamp (engine
+/// clock), and the channel its answer travels back on.
+struct Request {
+    query: Query,
+    enqueue_us: u64,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// Queue state guarded by the engine mutex.
+struct QueueState {
+    requests: VecDeque<Request>,
+    shutting_down: bool,
+}
+
+/// State shared between the engine handle and its workers.
+struct Shared {
+    stage: OnlineStage<'static>,
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+    policy: BatchPolicy,
+    capacity: usize,
+    clock: Arc<dyn Clock>,
+}
+
+/// An in-flight request handle returned by [`ServeEngine::submit`].
+///
+/// Dropping it without waiting is allowed: the worker's answer is then
+/// discarded (the query still runs — admission is a commitment).
+pub struct Pending {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Pending {
+    /// Blocks until the engine answers this request.
+    ///
+    /// A closed channel means the serving worker died before responding,
+    /// surfaced as [`ServeError::WorkerLost`] — it cannot happen during
+    /// an orderly shutdown, which drains every accepted request first.
+    pub fn wait(self) -> Reply {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+
+    /// Non-blocking probe: `Some(reply)` once the engine has answered,
+    /// `None` while the request is still queued or executing.
+    pub fn try_wait(&self) -> Option<Reply> {
+        match self.rx.try_recv() {
+            Ok(reply) => Some(reply),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
+
+    /// Blocks up to `timeout` for the answer; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Reply> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
+}
+
+/// The serving engine: owns an [`OnlineStage`] and a pool of worker
+/// threads batching queued queries through it.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServeEngine {
+    /// Starts an engine over `stage` with a production monotonic clock.
+    pub fn new(stage: OnlineStage<'static>, cfg: ServeConfig) -> Result<Self, ServeError> {
+        Self::with_clock(stage, cfg, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Starts an engine with an injected [`Clock`] — the batching
+    /// deadline (`max_wait_us`) is measured against this clock, which is
+    /// how tests pin the deadline behaviour with a fake clock.
+    pub fn with_clock(
+        stage: OnlineStage<'static>,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let shared = Arc::new(Shared {
+            stage,
+            queue: Mutex::new(QueueState { requests: VecDeque::new(), shutting_down: false }),
+            work_ready: Condvar::new(),
+            policy: BatchPolicy { max_batch: cfg.max_batch, max_wait_us: cfg.max_wait_us },
+            capacity: cfg.queue_capacity,
+            clock,
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qdgnn-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| ServeError::InvalidConfig(format!("failed to spawn worker: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServeEngine { shared, workers: Mutex::new(workers) })
+    }
+
+    /// Enqueues a query for batched execution. Never blocks: a full
+    /// queue rejects with [`ServeError::QueueFull`] (backpressure) and a
+    /// draining engine with [`ServeError::ShuttingDown`]. On `Ok`, the
+    /// request is committed — exactly one reply will reach the returned
+    /// [`Pending`] handle.
+    pub fn submit(&self, query: Query) -> Result<Pending, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock();
+            if q.shutting_down {
+                qdgnn_obs::counter("serve.rejected").inc();
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.requests.len() >= self.shared.capacity {
+                qdgnn_obs::counter("serve.rejected").inc();
+                return Err(ServeError::QueueFull { capacity: self.shared.capacity });
+            }
+            let enqueue_us = self.shared.clock.now_micros();
+            q.requests.push_back(Request { query, enqueue_us, reply: tx });
+            qdgnn_obs::observe("serve.queue_depth", q.requests.len() as f64);
+        }
+        self.shared.work_ready.notify_one();
+        Ok(Pending { rx })
+    }
+
+    /// Convenience: [`ServeEngine::submit`] plus [`Pending::wait`].
+    pub fn query_blocking(&self, query: Query) -> Result<Vec<VertexId>, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Requests currently queued (excludes batches already executing).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().requests.len()
+    }
+
+    /// Stops admissions, drains every queued request through the workers,
+    /// and joins them. Idempotent (later calls are no-ops); also runs on
+    /// `Drop`. After this returns, [`ServeEngine::submit`] answers
+    /// [`ServeError::ShuttingDown`].
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutting_down = true;
+        }
+        self.shared.work_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock();
+            workers.drain(..).collect()
+        };
+        for handle in handles {
+            // A worker that panicked already lost its in-flight replies
+            // (surfaced to waiters as WorkerLost); nothing to salvage.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Blocks until the policy says flush (or shutdown drains), then drains
+/// up to `max_batch` requests FIFO. `None` means shutdown with an empty
+/// queue: the worker should exit.
+fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut q = shared.queue.lock();
+    loop {
+        if q.shutting_down {
+            if q.requests.is_empty() {
+                return None;
+            }
+            // Drain mode: flush whatever is queued, deadline irrelevant.
+            break;
+        }
+        let now = shared.clock.now_micros();
+        let oldest = q.requests.front().map(|r| r.enqueue_us).unwrap_or(now);
+        match shared.policy.decide(q.requests.len(), oldest, now) {
+            BatchDecision::Flush => break,
+            BatchDecision::WaitAtMost(us) => {
+                // Cap the real sleep at one poll tick so the next
+                // deadline decision re-reads the injected clock: under a
+                // fake clock, `us` says "forever" until the test advances
+                // time, and the condvar wait must not believe it.
+                let tick = us.min(POLL_TICK_US);
+                let (guard, _timed_out) = shared
+                    .work_ready
+                    .wait_timeout(q, Duration::from_micros(tick))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                q = guard;
+            }
+        }
+    }
+    let take = q.requests.len().min(shared.policy.max_batch);
+    Some(q.requests.drain(..take).collect())
+}
+
+/// Worker body: flush batches until shutdown empties the queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let Some(batch) = next_batch(shared) else {
+            return;
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        let _flush_span = qdgnn_obs::span!("serve.flush");
+        let now = shared.clock.now_micros();
+        for req in &batch {
+            qdgnn_obs::observe("serve.queue_wait", now.saturating_sub(req.enqueue_us) as f64);
+        }
+        let queries: Vec<Query> = batch.iter().map(|r| r.query.clone()).collect();
+        let results = shared.stage.try_query_batch(&queries);
+        for (req, res) in batch.into_iter().zip(results) {
+            // A submitter that dropped its Pending no longer cares.
+            let _ = req.reply.send(res.map_err(ServeError::Query));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdgnn_core::{AqdGnn, CsModel, GraphTensors, ModelConfig};
+    use qdgnn_data::{presets, queries as qgen, AttrMode};
+    use qdgnn_graph::attributed::AdjNorm;
+    use qdgnn_obs::clock::FakeClock;
+
+    /// Two stages over the *same* model and tensors (shared `Arc`s): one
+    /// for the engine, one kept as the sequential reference.
+    fn twin_stages() -> (OnlineStage<'static>, OnlineStage<'static>, Vec<Query>) {
+        let data = presets::toy();
+        let t = Arc::new(GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100));
+        let queries = qgen::generate(&data, 24, 1, 2, AttrMode::FromCommunity, 7);
+        let model: Arc<dyn CsModel> = Arc::new(AqdGnn::new(ModelConfig::fast(), t.d));
+        let engine_stage = OnlineStage::new_shared(Arc::clone(&model), Arc::clone(&t), 0.5);
+        let reference = OnlineStage::new_shared(model, t, 0.5);
+        (engine_stage, reference, queries)
+    }
+
+    #[test]
+    fn engine_answers_match_direct_stage_calls() {
+        let (stage, reference, queries) = twin_stages();
+        let engine = ServeEngine::new(
+            stage,
+            ServeConfig { max_batch: 8, max_wait_us: 200, queue_capacity: 64, workers: 1 },
+        )
+        .expect("engine must start");
+        let pending: Vec<Pending> = queries
+            .iter()
+            .map(|q| engine.submit(q.clone()).expect("queue has room"))
+            .collect();
+        for (q, p) in queries.iter().zip(pending) {
+            let got = p.wait().expect("valid query must be served");
+            let want = reference.try_query(q).expect("reference agrees the query is valid");
+            assert_eq!(got, want, "engine answer must match the direct stage call");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_and_shutdown_still_drains_accepted_work() {
+        let (stage, _reference, queries) = twin_stages();
+        // Frozen clock + oversized batch: workers can never flush, so the
+        // queue fills deterministically.
+        let clock = Arc::new(FakeClock::new());
+        let engine = ServeEngine::with_clock(
+            stage,
+            ServeConfig { max_batch: 64, max_wait_us: 10_000, queue_capacity: 4, workers: 1 },
+            clock,
+        )
+        .expect("engine must start");
+        let accepted: Vec<Pending> = queries
+            .iter()
+            .take(4)
+            .map(|q| engine.submit(q.clone()).expect("queue has room"))
+            .collect();
+        assert_eq!(engine.queue_depth(), 4);
+        match engine.submit(queries[4].clone()) {
+            Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 4),
+            Err(other) => panic!("expected QueueFull, got {other:?}"),
+            Ok(_) => panic!("expected QueueFull, got an accepted submission"),
+        }
+        // Graceful shutdown must answer every accepted request even with
+        // the batching clock frozen.
+        engine.shutdown();
+        for p in accepted {
+            assert!(p.wait().is_ok(), "accepted request lost in shutdown");
+        }
+        assert!(matches!(engine.submit(queries[0].clone()), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn shutdown_drains_multiple_batches_and_isolates_bad_queries() {
+        let (stage, _reference, mut queries) = twin_stages();
+        let n = stage.tensors().n as u32;
+        queries.truncate(9);
+        // Plant one malformed query mid-queue: it must fail alone.
+        queries[4] = Query { vertices: vec![n + 3], attrs: vec![], truth: vec![] };
+        let clock = Arc::new(FakeClock::new());
+        let engine = ServeEngine::with_clock(
+            stage,
+            // max_batch 3 < 9 queued: the drain needs several flushes.
+            ServeConfig { max_batch: 3, max_wait_us: 60_000_000, queue_capacity: 32, workers: 1 },
+            clock,
+        )
+        .expect("engine must start");
+        let pending: Vec<Pending> = queries
+            .iter()
+            .map(|q| engine.submit(q.clone()).expect("queue has room"))
+            .collect();
+        engine.shutdown();
+        for (i, p) in pending.into_iter().enumerate() {
+            let reply = p.wait();
+            if i == 4 {
+                assert!(
+                    matches!(reply, Err(ServeError::Query(_))),
+                    "malformed query must fail with a typed query error"
+                );
+            } else {
+                assert!(reply.is_ok(), "well-formed query {i} lost in shutdown drain");
+            }
+        }
+    }
+
+    #[test]
+    fn fake_clock_pins_the_max_wait_deadline() {
+        let (stage, _reference, queries) = twin_stages();
+        let clock = Arc::new(FakeClock::new());
+        let engine = ServeEngine::with_clock(
+            stage,
+            ServeConfig { max_batch: 8, max_wait_us: 500, queue_capacity: 16, workers: 1 },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .expect("engine must start");
+        let a = engine.submit(queries[0].clone()).expect("queue has room");
+        let b = engine.submit(queries[1].clone()).expect("queue has room");
+        // Real time passes, fake time does not: the partial batch must
+        // not flush no matter how long we wait.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(a.try_wait().is_none(), "flushed before the injected-clock deadline");
+        assert!(b.try_wait().is_none(), "flushed before the injected-clock deadline");
+        // One tick short of the deadline: still queued.
+        clock.advance_micros(499);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(a.try_wait().is_none(), "flushed one microsecond early");
+        // Crossing the deadline releases the batch promptly.
+        clock.advance_micros(1);
+        let ra = a.wait_timeout(Duration::from_secs(30)).expect("deadline crossed, must flush");
+        let rb = b.wait_timeout(Duration::from_secs(30)).expect("deadline crossed, must flush");
+        assert!(ra.is_ok() && rb.is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_is_safe_after_it() {
+        let (stage, _reference, queries) = twin_stages();
+        let engine = ServeEngine::new(stage, ServeConfig::default()).expect("engine must start");
+        let reply = engine.query_blocking(queries[0].clone());
+        assert!(reply.is_ok());
+        engine.shutdown();
+        engine.shutdown();
+        // Drop runs shutdown a third time.
+    }
+}

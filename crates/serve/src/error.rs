@@ -1,0 +1,76 @@
+//! Typed errors of the serving engine.
+//!
+//! The engine runs indefinitely against untrusted callers: overload,
+//! shutdown races and malformed queries all surface as values, never as
+//! panics (the workspace QD001 rule covers this crate).
+
+use std::fmt;
+
+use qdgnn_core::QdgnnError;
+
+/// Why the engine could not produce a community for a request.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded submission queue was full — backpressure. The caller
+    /// should retry later or shed load; the engine never blocks a
+    /// submitter.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The engine is draining in-flight work and accepts no new
+    /// requests.
+    ShuttingDown,
+    /// The query itself was malformed (per-query error isolation: other
+    /// requests in the same batch are unaffected).
+    Query(QdgnnError),
+    /// The worker serving this request disappeared before responding —
+    /// only possible if a worker thread died abnormally.
+    WorkerLost,
+    /// The engine configuration is unusable (zero capacity, no workers).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Query(e) => write!(f, "query error: {e}"),
+            ServeError::WorkerLost => write!(f, "worker thread lost before responding"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QdgnnError> for ServeError {
+    fn from(e: QdgnnError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        let e = ServeError::QueueFull { capacity: 64 };
+        assert!(e.to_string().contains("64"));
+        let e = ServeError::Query(QdgnnError::EmptyQuery);
+        assert!(e.to_string().contains("at least one vertex"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,81 @@
+//! Process-level allocator tuning for batch-inference workloads.
+//!
+//! Batched forward passes allocate buffers `K×` larger than single-query
+//! passes. With glibc's default malloc tunables those buffers cross the
+//! dynamic mmap/trim thresholds, so every batch round-trips its working
+//! set through the kernel: freed at batch end, re-faulted page by page on
+//! the next batch. Measured on a 1-core host this costs ~80–180 minor
+//! faults *per query* and roughly doubles batched latency, while the
+//! single-query path (small, bin-recycled buffers) faults not at all.
+//!
+//! [`tune_for_batch_serving`] raises `M_TRIM_THRESHOLD` and
+//! `M_MMAP_THRESHOLD` via `mallopt(3)` so the heap retains the batch
+//! working set between rounds. glibc is already linked through `std`, so
+//! the `extern` declaration adds no dependency; on non-glibc targets the
+//! function is a no-op and batched serving merely keeps the default
+//! allocator behaviour.
+
+/// `mallopt(3)` parameter: heap-top trim threshold (glibc `malloc.h`).
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const M_TRIM_THRESHOLD: i32 = -1;
+/// `mallopt(3)` parameter: mmap allocation threshold.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const M_MMAP_THRESHOLD: i32 = -3;
+
+/// Retain up to this much freed heap instead of returning it to the OS.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const TRIM_BYTES: i32 = 256 * 1024 * 1024;
+/// Serve mmap (and its page-fault churn) only for allocations above this.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const MMAP_BYTES: i32 = 64 * 1024 * 1024;
+
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+extern "C" {
+    // Part of glibc, which std already links on *-linux-gnu targets.
+    fn mallopt(param: i32, value: i32) -> i32;
+}
+
+/// Tunes the process allocator for steady-state batched inference:
+/// freed batch buffers stay in the heap for the next batch instead of
+/// being returned to (and re-faulted from) the kernel.
+///
+/// Idempotent and safe to call from any thread; later manual `mallopt`
+/// calls by the embedding application still win. Returns `true` when the
+/// tuning was applied (glibc target, both calls accepted), `false` on
+/// platforms without `mallopt` where the default allocator is kept.
+pub fn tune_for_batch_serving() -> bool {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        use std::sync::OnceLock;
+        static APPLIED: OnceLock<bool> = OnceLock::new();
+        *APPLIED.get_or_init(|| {
+            // SAFETY: mallopt only adjusts allocator parameters; it is
+            // documented as callable at any time and touches no memory
+            // owned by Rust.
+            let trim = unsafe { mallopt(M_TRIM_THRESHOLD, TRIM_BYTES) };
+            let mmap = unsafe { mallopt(M_MMAP_THRESHOLD, MMAP_BYTES) };
+            trim == 1 && mmap == 1
+        })
+    }
+    #[cfg(not(all(target_os = "linux", target_env = "gnu")))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuning_is_idempotent_and_reports_support() {
+        let first = tune_for_batch_serving();
+        let second = tune_for_batch_serving();
+        assert_eq!(first, second);
+        if cfg!(all(target_os = "linux", target_env = "gnu")) {
+            assert!(first, "mallopt should accept both thresholds on glibc");
+        } else {
+            assert!(!first);
+        }
+    }
+}
