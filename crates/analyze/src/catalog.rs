@@ -135,6 +135,21 @@ pub const RULES: &[Rule] = &[
         ],
         suppressible: true,
     },
+    Rule {
+        id: "QD008",
+        summary: "no unbounded blocking primitives in serving code",
+        rationale: "The serving engine promises bounded behaviour under \
+                    overload and partial failure: every block must carry a \
+                    timeout so a stuck worker cannot turn into a stuck \
+                    caller. Condvar::wait without a timeout, Receiver::recv, \
+                    and bare Pending::wait are banned in favour of the \
+                    _timeout variants; where indefinite blocking is the \
+                    documented contract (the no-deadline Pending::wait \
+                    branch), suppress with a reason. Test modules are \
+                    exempt.",
+        enforced_paths: &["crates/serve/src/"],
+        suppressible: true,
+    },
 ];
 
 /// Looks up a rule by id.

@@ -3,7 +3,7 @@
 //!
 //! A from-scratch, dependency-free lint engine: [`lexer`] scans Rust
 //! sources (comment/string-aware, brace-tracking, `#[cfg(test)]`
-//! detection), [`rules`] implements the QD001–QD007 checks, and
+//! detection), [`rules`] implements the QD001–QD008 checks, and
 //! [`catalog`] describes them machine-readably. This module wires the
 //! pieces together: filesystem walking, suppression handling, and
 //! deterministic ordering of findings.

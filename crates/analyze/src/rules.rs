@@ -1,4 +1,4 @@
-//! The lint rules (QD001–QD007).
+//! The lint rules (QD001–QD008).
 //!
 //! Each rule is a pure function from scanned [`SourceFile`]s to
 //! [`Finding`]s; suppression handling and ordering live in
@@ -493,6 +493,53 @@ pub fn qd007(sf: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// Paths where QD008 bans unbounded blocking primitives: the serving
+/// library is the one place threads wait on each other under production
+/// load, so every block there must carry a timeout (or a reasoned
+/// suppression) — an unbounded `Condvar::wait`, `Receiver::recv`, or
+/// bare `Pending::wait` turns one stuck worker into a stuck caller.
+const QD008_CRATES: &[&str] = &["crates/serve/src/"];
+
+/// The method names QD008 bans when invoked bare. The bounded variants
+/// (`wait_timeout`, `recv_timeout`, `try_recv`, `try_wait`) lex as
+/// different identifiers and stay legal.
+const QD008_METHODS: &[&str] = &["wait", "recv"];
+
+/// QD008: no unbounded blocking primitives (`Condvar::wait` without a
+/// timeout, `Receiver::recv`, bare `Pending::wait`) in serving library
+/// code outside tests. Use the `_timeout` variants — or suppress with a
+/// reason where indefinite blocking is the documented contract.
+pub fn qd008(sf: &SourceFile) -> Vec<Finding> {
+    if !QD008_CRATES.iter().any(|p| sf.path.contains(p)) {
+        return Vec::new();
+    }
+    let toks = &sf.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident || !QD008_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Invocation only: `.wait(` / `::recv(` — receiver or path call
+        // followed by an argument list. Definitions (`fn wait(`) and
+        // bare mentions (doc links, field names) stay legal.
+        let invoked = i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "::");
+        if !invoked || toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        out.push(finding(
+            "QD008",
+            sf,
+            t.line,
+            format!(
+                "unbounded blocking `{}()` in serving code — a stuck worker becomes a stuck caller; use the `_timeout` variant (or suppress with a reason where indefinite blocking is the documented contract)",
+                t.text
+            ),
+        ));
+    }
+    out
+}
+
 /// Runs every per-file rule on one source file.
 pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     let mut out = qd001(sf);
@@ -501,6 +548,7 @@ pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     out.extend(qd005(sf));
     out.extend(qd006(sf));
     out.extend(qd007(sf));
+    out.extend(qd008(sf));
     out
 }
 
@@ -796,6 +844,51 @@ mod tests {
         for path in ["crates/obs/src/clock.rs", "crates/experiments/src/bin/table2.rs"] {
             let sf = scan(path, "fn f() { let _ = std::time::Instant::now(); }\n");
             assert!(qd007(&sf).is_empty(), "{path} should be exempt");
+        }
+    }
+
+    // ---- QD008 ----
+
+    #[test]
+    fn qd008_bad_unbounded_blocking_in_serving_code() {
+        let sf = scan(
+            "crates/serve/src/engine.rs",
+            "fn f(cv: &Condvar, g: G, rx: &Receiver<u8>, p: Pending) {\n    let _g = cv.wait(g);\n    let _v = rx.recv();\n    let _r = p.wait();\n}\n",
+        );
+        let f = qd008(&sf);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "QD008"));
+        assert!(f[0].message.contains("_timeout"));
+        assert_eq!((f[0].line, f[1].line, f[2].line), (2, 3, 4));
+    }
+
+    #[test]
+    fn qd008_good_bounded_variants_definitions_and_tests() {
+        let sf = scan(
+            "crates/serve/src/engine.rs",
+            r#"
+// cv.wait(g) in a comment is fine
+pub fn wait(self) -> Reply { todo!() }
+fn f(cv: &Condvar, g: G, rx: &Receiver<u8>) {
+    let _ = cv.wait_timeout(g, d);
+    let _ = rx.recv_timeout(d);
+    let _ = rx.try_recv();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(p: Pending, rx: Receiver<u8>) { let _ = p.wait(); let _ = rx.recv(); }
+}
+"#,
+        );
+        assert!(qd008(&sf).is_empty(), "{:?}", qd008(&sf));
+    }
+
+    #[test]
+    fn qd008_not_enforced_outside_serving_library() {
+        for path in ["crates/core/src/train.rs", "crates/serve/bin/main.rs"] {
+            let sf = scan(path, "fn f(rx: &Receiver<u8>) { let _ = rx.recv(); }\n");
+            assert!(qd008(&sf).is_empty(), "{path} should be exempt");
         }
     }
 

@@ -131,6 +131,23 @@ pub fn compare_serve(baseline: &ServeReport, rounds: &[ServeReport]) -> Vec<Comp
             &qps,
         ));
     }
+    // The overload-degradation scenario contributes two gates: the p99
+    // of *accepted* requests (overload must not wreck survivors) and
+    // the shed rate (deadline shedding must not creep up). Both are
+    // lower-is-better with the usual noise-tolerant best-of-rounds.
+    let o = &baseline.overload;
+    let p99s: Vec<f64> = rounds.iter().map(|r| r.overload.p99_accepted_us).collect();
+    out.push(judge_lower_is_better(
+        format!("{} overload.p99_accepted_us", o.dataset),
+        o.p99_accepted_us,
+        &p99s,
+    ));
+    let shed: Vec<f64> = rounds.iter().map(|r| r.overload.shed_rate).collect();
+    out.push(judge_lower_is_better(
+        format!("{} overload.shed_rate", o.dataset),
+        o.shed_rate,
+        &shed,
+    ));
     out
 }
 
@@ -211,8 +228,18 @@ mod tests {
         assert!(!baseline.datasets.is_empty());
 
         let comps = compare_serve(&baseline, std::slice::from_ref(&baseline));
-        assert_eq!(comps.len(), 2 * baseline.datasets.len(), "p95 + batched QPS per dataset");
+        assert_eq!(
+            comps.len(),
+            2 * baseline.datasets.len() + 2,
+            "p95 + batched QPS per dataset, plus the two overload gates"
+        );
         assert_eq!(overall(&comps), Verdict::Pass, "{comps:?}");
+        assert!(
+            baseline.overload.shed_rate > 0.0 && baseline.overload.shed_rate < 0.8,
+            "overload baseline must shed some but not most load, or the \
+             ×{FAIL_RATIO} shed-rate gate is vacuous: {:?}",
+            baseline.overload
+        );
 
         let mut scaled = baseline.clone();
         for (_, d) in &mut scaled.datasets {
@@ -221,6 +248,9 @@ mod tests {
             d.serve.p95_us /= 4.0;
             d.throughput.batched_qps *= 4.0;
         }
+        // Same for the overload scenario's two gated metrics.
+        scaled.overload.p99_accepted_us /= 4.0;
+        scaled.overload.shed_rate /= 4.0;
         let comps = compare_serve(&scaled, std::slice::from_ref(&baseline));
         assert!(
             comps.iter().all(|c| c.verdict == Verdict::Fail),

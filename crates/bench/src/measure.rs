@@ -9,16 +9,19 @@
 
 use std::io;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use qdgnn_core::models::AqdGnn;
-use qdgnn_core::{GraphTensors, OnlineStage, Trainer};
+use qdgnn_core::{CsModel, GraphTensors, OnlineStage, Trainer};
 use qdgnn_data::{AttrMode, Dataset, Query};
 use qdgnn_obs::events::Event;
 use qdgnn_obs::metrics::MetricsSnapshot;
+use qdgnn_serve::{ServeConfig, ServeEngine};
 
 use crate::report::{
-    HistStats, ServeDataset, ServeReport, ThroughputStats, TrainBenchReport, TrainDataset,
+    HistStats, OverloadStats, ServeDataset, ServeReport, ThroughputStats, TrainBenchReport,
+    TrainDataset,
 };
 use crate::{bench_model_config, bench_queries, bench_train_config};
 
@@ -30,6 +33,23 @@ pub const THROUGHPUT_BATCH: usize = 16;
 
 /// Workload size (queries) of each throughput timing pass.
 pub const THROUGHPUT_QUERIES: usize = 48;
+
+/// Batch cap of the overload-scenario engine.
+pub const OVERLOAD_BATCH: usize = 8;
+
+/// Deadline budget of the overload scenario, in units of calibrated
+/// per-batch service time: a request may wait three full batches.
+pub const OVERLOAD_DEADLINE_BATCHES: f64 = 3.0;
+
+/// Closed-loop clients driving the overload engine. The deadline can
+/// sustain [`OVERLOAD_DEADLINE_BATCHES`]·[`OVERLOAD_BATCH`] outstanding
+/// requests (both deadline and service time scale with 1/μ, so this is
+/// machine-independent); twice that is a 2× overload, targeting a shed
+/// rate near one half.
+pub const OVERLOAD_CLIENTS: usize = 6 * OVERLOAD_BATCH;
+
+/// Closed-loop submit cycles each overload client runs.
+pub const OVERLOAD_CYCLES_PER_CLIENT: usize = 40;
 
 /// The bench dataset suite (Fast-profile scale).
 pub fn bench_datasets() -> Vec<Dataset> {
@@ -105,7 +125,11 @@ fn hist_stats(snap: &MetricsSnapshot, name: &str) -> HistStats {
 /// round then serves every test query [`SERVE_ROUNDS_PER_QUERY`] times
 /// against a freshly reset registry.
 pub fn measure_serve(measure_rounds: usize, log: &mut EventLog) -> Vec<ServeReport> {
-    measure_serve_on(&bench_datasets(), measure_rounds, log)
+    let mut rounds = measure_serve_on(&bench_datasets(), measure_rounds, log);
+    for (round, overload) in rounds.iter_mut().zip(measure_overload(measure_rounds, log)) {
+        round.overload = overload;
+    }
+    rounds
 }
 
 /// [`measure_serve`] over an explicit dataset list (the
@@ -119,6 +143,7 @@ pub fn measure_serve_on(
         .map(|_| ServeReport {
             rounds_per_query: SERVE_ROUNDS_PER_QUERY as u64,
             datasets: Vec::new(),
+            overload: OverloadStats::default(),
         })
         .collect();
     for dataset in datasets {
@@ -174,6 +199,152 @@ pub fn measure_serve_on(
         }
     }
     rounds
+}
+
+/// Runs the overload-degradation scenario `measure_rounds` times: a
+/// `ServeEngine` over a bench-trained Cornell model, per-request
+/// deadlines armed, driven by closed-loop clients deliberately
+/// provisioned at 2× the concurrency the deadline can sustain, so a
+/// predictable fraction of offered load must be shed. Two gated metrics
+/// come out: the p99 latency of *accepted* requests (graceful
+/// degradation means survivors stay inside roughly deadline + one batch)
+/// and the shed rate.
+///
+/// The deadline is calibrated from a measured batched-throughput pass
+/// ([`OVERLOAD_DEADLINE_BATCHES`] batches of service time), so the
+/// overload *factor* — and with it the expected shed rate — is
+/// machine-independent even though raw throughput is not.
+pub fn measure_overload(measure_rounds: usize, log: &mut EventLog) -> Vec<OverloadStats> {
+    let dataset = qdgnn_data::presets::cornell();
+    eprintln!("[qdgnn-bench] {}: training for the overload scenario...", dataset.name);
+    let mc = bench_model_config();
+    let tensors =
+        Arc::new(GraphTensors::new(&dataset.graph, mc.adj_norm, mc.fusion_graph_attr_cap));
+    let split = bench_queries(&dataset, AttrMode::FromCommunity, 1, 3);
+    let trained = Trainer::new(bench_train_config()).train(
+        AqdGnn::new(mc, tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    let model: Arc<dyn CsModel> = Arc::new(trained.model);
+    let gamma = trained.gamma;
+    log.reset();
+
+    // Calibrate service capacity μ (batched queries/second), then set
+    // the deadline to OVERLOAD_DEADLINE_BATCHES batches of service
+    // time. With OVERLOAD_CLIENTS at twice the outstanding requests
+    // that deadline can sustain, closed-loop queue wait settles around
+    // 2×deadline and roughly half the offered load must be shed —
+    // regardless of how fast this machine is.
+    let calib = OnlineStage::new_shared(Arc::clone(&model), Arc::clone(&tensors), gamma);
+    let workload: Vec<Query> =
+        split.test.iter().cycle().take(THROUGHPUT_QUERIES).cloned().collect();
+    assert!(!workload.is_empty(), "overload scenario needs test queries");
+    let t0 = Instant::now();
+    for chunk in workload.chunks(OVERLOAD_BATCH) {
+        for r in calib.try_query_batch(chunk) {
+            let _ = r.expect("bench query must be valid");
+        }
+    }
+    let mu = (workload.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)).max(1.0);
+    let deadline_us = ((OVERLOAD_DEADLINE_BATCHES * OVERLOAD_BATCH as f64 / mu) * 1e6)
+        .round()
+        .max(1_000.0) as u64;
+    let clients = OVERLOAD_CLIENTS;
+    eprintln!(
+        "[qdgnn-bench] {}: overload calibration {:.0} qps -> {deadline_us}us deadline, {clients} closed-loop clients",
+        dataset.name, mu
+    );
+
+    (0..measure_rounds)
+        .map(|_| {
+            let stage = OnlineStage::new_shared(Arc::clone(&model), Arc::clone(&tensors), gamma);
+            let engine = Arc::new(
+                ServeEngine::new(
+                    stage,
+                    ServeConfig {
+                        max_batch: OVERLOAD_BATCH,
+                        max_wait_us: 200,
+                        queue_capacity: 2 * clients,
+                        workers: 1,
+                        deadline_us,
+                        ..ServeConfig::default()
+                    },
+                )
+                .expect("overload engine must start"),
+            );
+            let handles: Vec<_> = (0..clients)
+                .map(|ci| {
+                    let engine = Arc::clone(&engine);
+                    let queries = split.test.clone();
+                    std::thread::spawn(move || {
+                        let (mut offered, mut accepted, mut shed) = (0u64, 0u64, 0u64);
+                        let mut latencies_us: Vec<f64> = Vec::new();
+                        for i in 0..OVERLOAD_CYCLES_PER_CLIENT {
+                            let q = queries[(ci + i * 7) % queries.len()].clone();
+                            offered += 1;
+                            let t = Instant::now();
+                            let outcome = engine.submit(q).and_then(|p| p.wait());
+                            match outcome {
+                                Ok(_) => {
+                                    accepted += 1;
+                                    latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+                                }
+                                Err(_) => {
+                                    shed += 1;
+                                    // Shed replies return fast (admission
+                                    // tier is immediate); back off one
+                                    // deadline so a rejected client does
+                                    // not hot-loop and distort the
+                                    // offered/shed ratio.
+                                    std::thread::sleep(Duration::from_micros(deadline_us));
+                                }
+                            }
+                        }
+                        (offered, accepted, shed, latencies_us)
+                    })
+                })
+                .collect();
+            let (mut offered, mut accepted, mut shed) = (0u64, 0u64, 0u64);
+            let mut latencies_us: Vec<f64> = Vec::new();
+            for h in handles {
+                let (o, a, s, lat) = h.join().expect("overload client must not panic");
+                offered += o;
+                accepted += a;
+                shed += s;
+                latencies_us.extend(lat);
+            }
+            engine.shutdown();
+            let engine_stats = engine.stats();
+            latencies_us.sort_by(|a, b| a.total_cmp(b));
+            let p99_accepted_us = if latencies_us.is_empty() {
+                0.0
+            } else {
+                let idx = ((latencies_us.len() - 1) as f64 * 0.99).round() as usize;
+                latencies_us[idx.min(latencies_us.len() - 1)]
+            };
+            let shed_rate = if offered > 0 { shed as f64 / offered as f64 } else { 0.0 };
+            eprintln!(
+                "[qdgnn-bench] {}: overload offered {offered}, accepted {accepted}, shed {shed} ({:.0}% | admission {}, dequeue {}), p99 accepted {:.0}us",
+                dataset.name,
+                shed_rate * 100.0,
+                engine_stats.shed_admission,
+                engine_stats.shed_deadline,
+                p99_accepted_us
+            );
+            log.reset();
+            OverloadStats {
+                dataset: dataset.name.clone(),
+                deadline_us,
+                offered,
+                accepted,
+                shed,
+                p99_accepted_us,
+                shed_rate,
+            }
+        })
+        .collect()
 }
 
 /// Times the sequential and batched serving paths over one workload

@@ -69,6 +69,30 @@ pub struct ServeDataset {
     pub throughput: ThroughputStats,
 }
 
+/// The overload scenario: offered load beyond engine capacity with
+/// per-request deadlines armed, measuring how gracefully the engine
+/// degrades. Two gated metrics come out of it: the p99 latency of
+/// *accepted* requests (overload must not wreck survivors) and the shed
+/// rate (how much load the deadline tiers turned away).
+#[derive(Clone, Debug, Default)]
+pub struct OverloadStats {
+    /// Dataset the scenario ran against.
+    pub dataset: String,
+    /// Per-request deadline budget armed during the scenario (µs).
+    pub deadline_us: u64,
+    /// Requests offered by the load generators.
+    pub offered: u64,
+    /// Requests answered with a community (accepted and served).
+    pub accepted: u64,
+    /// Requests shed with `DeadlineExceeded` (admission tier + dequeue
+    /// tier) or rejected by queue backpressure.
+    pub shed: u64,
+    /// 99th-percentile latency of accepted requests, microseconds.
+    pub p99_accepted_us: f64,
+    /// `shed / offered` — fraction of offered load turned away.
+    pub shed_rate: f64,
+}
+
 /// The `BENCH_serve.json` document.
 #[derive(Clone, Debug, Default)]
 pub struct ServeReport {
@@ -76,6 +100,8 @@ pub struct ServeReport {
     pub rounds_per_query: u64,
     /// Per-dataset measurements, in measurement order.
     pub datasets: Vec<(String, ServeDataset)>,
+    /// The overload-degradation scenario (one per report).
+    pub overload: OverloadStats,
 }
 
 /// One dataset's training measurement.
@@ -128,6 +154,25 @@ fn throughput_from(v: &Value) -> Result<ThroughputStats, String> {
     })
 }
 
+fn overload_from(v: &Value) -> Result<OverloadStats, String> {
+    // Required: a baseline without the overload scenario predates the
+    // degradation gate and must be regenerated, not silently accepted.
+    let o = v.get("overload").ok_or("missing `overload` object")?;
+    Ok(OverloadStats {
+        dataset: o
+            .get("dataset")
+            .and_then(Value::as_str)
+            .ok_or("missing string `dataset` in `overload`")?
+            .to_string(),
+        deadline_us: req_num(o, "deadline_us")? as u64,
+        offered: req_num(o, "offered")? as u64,
+        accepted: req_num(o, "accepted")? as u64,
+        shed: req_num(o, "shed")? as u64,
+        p99_accepted_us: req_num(o, "p99_accepted_us")?,
+        shed_rate: req_num(o, "shed_rate")?,
+    })
+}
+
 fn check_bench_kind(v: &Value, expected: &str) -> Result<(), String> {
     match v.get("bench").and_then(Value::as_str) {
         Some(k) if k == expected => Ok(()),
@@ -170,7 +215,20 @@ impl ServeReport {
                 if i + 1 == self.datasets.len() { "" } else { "," }
             );
         }
-        body.push_str("  }\n}\n");
+        body.push_str("  },\n");
+        let o = &self.overload;
+        let _ = writeln!(
+            body,
+            "  \"overload\": {{\"dataset\":{},\"deadline_us\":{},\"offered\":{},\"accepted\":{},\"shed\":{},\"p99_accepted_us\":{},\"shed_rate\":{}}}",
+            json::escape(&o.dataset),
+            o.deadline_us,
+            o.offered,
+            o.accepted,
+            o.shed,
+            json::num(o.p99_accepted_us),
+            json::num(o.shed_rate),
+        );
+        body.push_str("}\n");
         body
     }
 
@@ -182,6 +240,7 @@ impl ServeReport {
         let mut report = ServeReport {
             rounds_per_query: req_num(&v, "rounds_per_query")? as u64,
             datasets: Vec::new(),
+            overload: overload_from(&v)?,
         };
         let datasets =
             v.get("datasets").and_then(Value::as_obj).ok_or("missing `datasets` object")?;
@@ -271,6 +330,15 @@ mod tests {
                     },
                 },
             )],
+            overload: OverloadStats {
+                dataset: "FB-414".to_string(),
+                deadline_us: 20_000,
+                offered: 256,
+                accepted: 131,
+                shed: 125,
+                p99_accepted_us: 9500.0,
+                shed_rate: 0.488,
+            },
         }
     }
 
@@ -290,6 +358,25 @@ mod tests {
         assert!((d.throughput.batched_qps - 3600.0).abs() < 1e-9);
         assert!((d.throughput.speedup() - 2.0).abs() < 1e-12);
         assert!(back.get("nope").is_none());
+        assert_eq!(back.overload.dataset, "FB-414");
+        assert_eq!(back.overload.offered, 256);
+        assert_eq!(back.overload.accepted, 131);
+        assert_eq!(back.overload.shed, 125);
+        assert!((back.overload.p99_accepted_us - 9500.0).abs() < 1e-9);
+        assert!((back.overload.shed_rate - 0.488).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_parser_requires_the_overload_section() {
+        // A pre-overload report (old schema) must be rejected, so the
+        // checked-in baseline can never silently skip the shedding gate.
+        let report = sample_serve();
+        let text = report.to_json();
+        let start = text.find("  \"overload\"").expect("overload section emitted");
+        let end = text[start..].find('\n').map(|i| start + i + 1).expect("line-terminated");
+        let stripped = format!("{}{}", text[..start].trim_end_matches(",\n"), "\n}\n");
+        assert!(text[start..end].contains("shed_rate"), "sanity: stripping the right line");
+        assert!(ServeReport::from_json(&stripped).is_err());
     }
 
     #[test]

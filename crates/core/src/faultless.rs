@@ -14,14 +14,19 @@
 //!   `Trainer::resume_from`;
 //! * **malformed queries** — [`out_of_range_query`] builds queries whose
 //!   ids cannot belong to the served graph, exercising
-//!   `OnlineStage::try_query` validation.
+//!   `OnlineStage::try_query` validation;
+//! * **serve-path faults** — [`inject_serve_fault_at_call`] arms a
+//!   [`ServeFault`] (panic, stall, simulated allocation failure) that
+//!   fires inside `OnlineStage::try_scores_batch` at a chosen batched
+//!   forward call, exercising the serving engine's worker supervision,
+//!   deadline shedding, and circuit breaker.
 //!
 //! Step attempts are counted monotonically across divergence rollbacks
 //! (the counter never rewinds), so a fault armed for step `s` fires at
 //! most once. Faults are one-shot: firing removes them from the registry.
 //!
-//! The registry is process-global; chaos tests that train concurrently
-//! must serialize on their own lock.
+//! The registries are process-global; chaos tests that train or serve
+//! concurrently must serialize on their own lock.
 
 use std::collections::HashMap;
 use std::io;
@@ -78,6 +83,77 @@ pub(crate) fn mutate_gradients(step: u64, grads: &mut GradStore) {
         None => {}
         Some(GradFault::NanGrads) => grads.scale(f32::NAN),
         Some(GradFault::ExplodeGrads(k)) => grads.scale(k),
+    }
+}
+
+/// A fault to fire inside one batched serving forward pass.
+#[derive(Clone, Copy, Debug)]
+pub enum ServeFault {
+    /// Panics mid-forward — the whole batch dies. Exercises worker
+    /// supervision: every co-batched request must still get a typed
+    /// `WorkerPanicked` reply and the worker must respawn.
+    PanicInForward,
+    /// Sleeps this many microseconds of *real* time before the forward
+    /// pass — a slow/stuck model. Exercises deadline shedding of
+    /// requests queued behind the stall.
+    StallForwardMicros(u64),
+    /// Simulates a failed working-buffer allocation by panicking with a
+    /// capacity-overflow message, the shape a real OOM abort-avoiding
+    /// allocator hook would produce. Supervision must treat it exactly
+    /// like any other panic.
+    AllocFailure,
+}
+
+fn serve_registry() -> &'static Mutex<HashMap<u64, ServeFault>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, ServeFault>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn serve_call_counter() -> &'static Mutex<u64> {
+    static COUNTER: OnceLock<Mutex<u64>> = OnceLock::new();
+    COUNTER.get_or_init(|| Mutex::new(0))
+}
+
+/// Arms `fault` to fire at the `call`-th (1-based) batched serving
+/// forward pass counted from the last [`reset_serve_calls`]. One-shot:
+/// firing removes the fault.
+pub fn inject_serve_fault_at_call(call: u64, fault: ServeFault) {
+    serve_registry().lock().unwrap().insert(call, fault);
+}
+
+/// Disarms every pending serve fault and rewinds the call counter, so a
+/// test starts from a clean slate regardless of what ran before it.
+pub fn reset_serve_calls() {
+    serve_registry().lock().unwrap().clear();
+    *serve_call_counter().lock().unwrap() = 0;
+}
+
+/// Number of serve faults still armed (fired faults are removed).
+pub fn pending_serve() -> usize {
+    serve_registry().lock().unwrap().len()
+}
+
+/// Serving-path hook: counts one batched forward call and fires (and
+/// consumes) the fault armed for it, if any. Panicking faults unwind out
+/// of the stage into the engine's worker supervision.
+pub(crate) fn serve_forward_hook() {
+    let call = {
+        let mut c = serve_call_counter().lock().unwrap();
+        *c += 1;
+        *c
+    };
+    let fault = serve_registry().lock().unwrap().remove(&call);
+    match fault {
+        None => {}
+        Some(ServeFault::PanicInForward) => {
+            panic!("chaos: injected panic in batched serving forward (call {call})")
+        }
+        Some(ServeFault::StallForwardMicros(us)) => {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+        Some(ServeFault::AllocFailure) => {
+            panic!("chaos: capacity overflow allocating serving working buffers (call {call})")
+        }
     }
 }
 

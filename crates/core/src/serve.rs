@@ -192,6 +192,11 @@ impl<'a> OnlineStage<'a> {
                 return out;
             }
         };
+        // Chaos injection point: fire any armed serve-path fault exactly
+        // where a crashing model forward fails in production — after
+        // validation and stacking, before the batched forward pass.
+        #[cfg(feature = "chaos")]
+        crate::faultless::serve_forward_hook();
         let scores = predict_scores_batch(self.model(), self.tensors(), self.cache.as_ref(), &batch);
         for ((i, _), s) in valid.iter().zip(scores) {
             if let Some(slot) = out.get_mut(*i) {

@@ -8,11 +8,20 @@
 //! ```text
 //! qdgnn-serve [--preset NAME] [--clients N] [--queries N]
 //!             [--max-batch N] [--max-wait-us N] [--workers N]
+//!             [--deadline-us N] [--overload]
 //!             [--epochs N] [--seq] [--metrics]
 //! ```
 //!
 //! `--seq` serves the same workload sequentially through the stage
 //! (no engine, one query at a time) for an in-place comparison.
+//!
+//! `--deadline-us N` arms a per-request deadline: requests the engine
+//! cannot serve within the budget are shed with a typed
+//! `DeadlineExceeded` (reported as "shed", not failures). `--overload`
+//! demos graceful degradation: it quadruples the client count and, if no
+//! deadline was given, calibrates one to ~3 batches of measured service
+//! time — expect a visible-but-partial shed rate while accepted
+//! requests stay inside the budget.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,6 +40,7 @@ struct Args {
     epochs: usize,
     sequential: bool,
     metrics: bool,
+    overload: bool,
     cfg: ServeConfig,
 }
 
@@ -43,6 +53,7 @@ impl Args {
             epochs: 10,
             sequential: false,
             metrics: false,
+            overload: false,
             cfg: ServeConfig::default(),
         };
         let mut it = std::env::args().skip(1);
@@ -59,18 +70,28 @@ impl Args {
                 "--max-wait-us" => args.cfg.max_wait_us = parse_num(&value("--max-wait-us")?)? as u64,
                 "--workers" => args.cfg.workers = parse_num(&value("--workers")?)?,
                 "--queue-capacity" => args.cfg.queue_capacity = parse_num(&value("--queue-capacity")?)?,
+                "--deadline-us" => args.cfg.deadline_us = parse_num(&value("--deadline-us")?)? as u64,
+                "--overload" => args.overload = true,
                 "--seq" => args.sequential = true,
                 "--metrics" => args.metrics = true,
                 "--help" | "-h" => {
                     println!(
                         "qdgnn-serve [--preset NAME] [--clients N] [--queries N] \
                          [--max-batch N] [--max-wait-us N] [--workers N] \
-                         [--queue-capacity N] [--epochs N] [--seq] [--metrics]"
+                         [--queue-capacity N] [--deadline-us N] [--overload] \
+                         [--epochs N] [--seq] [--metrics]"
                     );
                     std::process::exit(0);
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
+        }
+        if args.overload {
+            // Overload demo: oversubscribe the engine. The deadline is
+            // calibrated from measured service time after training (a
+            // fixed number would be all-shed or no-shed depending on
+            // the machine) unless --deadline-us pinned one explicitly.
+            args.clients = (args.clients * 4).max(16);
         }
         Ok(args)
     }
@@ -148,6 +169,27 @@ fn run() -> Result<(), String> {
     let tensors = Arc::new(tensors);
     let stage = OnlineStage::new_shared(model, tensors, trained.gamma);
 
+    let mut cfg = args.cfg.clone();
+    if args.overload && cfg.deadline_us == 0 {
+        // Calibrate the demo deadline to ~3 batches of measured service
+        // time, so the oversubscribed closed loop sheds a visible-but-
+        // partial fraction of the load on any machine.
+        let probe: Vec<&Query> = workload.iter().take(32).collect();
+        let t = Instant::now();
+        let mut timed = 0usize;
+        for q in &probe {
+            if stage.try_query(q).is_ok() {
+                timed += 1;
+            }
+        }
+        let per_query_us = t.elapsed().as_micros() as u64 / timed.max(1) as u64;
+        cfg.deadline_us = (3 * cfg.max_batch as u64 * per_query_us).max(2_000);
+        println!(
+            "overload: calibrated deadline {}µs (~3 batches at {}µs/query)",
+            cfg.deadline_us, per_query_us
+        );
+    }
+
     if args.sequential {
         let t0 = Instant::now();
         let mut served = 0usize;
@@ -162,19 +204,30 @@ fn run() -> Result<(), String> {
     }
 
     println!(
-        "engine: max_batch {}, max_wait {}µs, {} worker(s), {} client(s)",
-        args.cfg.max_batch, args.cfg.max_wait_us, args.cfg.workers, args.clients
+        "engine: max_batch {}, max_wait {}µs, {} worker(s), {} client(s), deadline {}",
+        cfg.max_batch,
+        cfg.max_wait_us,
+        cfg.workers,
+        args.clients,
+        if cfg.deadline_us == 0 {
+            "off".to_string()
+        } else {
+            format!("{}µs", cfg.deadline_us)
+        }
     );
-    let engine = ServeEngine::new(stage, args.cfg.clone()).map_err(|e| e.to_string())?;
+    let engine = ServeEngine::new(stage, cfg.clone()).map_err(|e| e.to_string())?;
     let served = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
     let clients = args.clients.max(1);
+    let backoff_us = cfg.deadline_us.max(200);
     let t0 = Instant::now();
     let scope_result = crossbeam::thread::scope(|s| {
         for (c, chunk) in chunked(&workload, clients).into_iter().enumerate() {
             let engine = &engine;
             let served = &served;
             let rejected = &rejected;
+            let shed = &shed;
             s.spawn(move |_| {
                 for q in chunk {
                     // Closed loop with bounded retry on backpressure.
@@ -183,11 +236,23 @@ fn run() -> Result<(), String> {
                             Ok(pending) => {
                                 match pending.wait() {
                                     Ok(_) => served.fetch_add(1, Ordering::Relaxed),
+                                    // Deadline sheds are the engine doing
+                                    // its job under overload, not errors.
+                                    Err(ServeError::DeadlineExceeded { .. }) => {
+                                        shed.fetch_add(1, Ordering::Relaxed)
+                                    }
                                     Err(e) => {
                                         eprintln!("client {c}: query failed: {e}");
                                         rejected.fetch_add(1, Ordering::Relaxed)
                                     }
                                 };
+                                break;
+                            }
+                            Err(ServeError::DeadlineExceeded { .. }) => {
+                                // Admission-tier shed: back off a deadline
+                                // before re-offering, like a real client.
+                                shed.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(backoff_us));
                                 break;
                             }
                             Err(ServeError::QueueFull { .. }) => {
@@ -214,6 +279,16 @@ fn run() -> Result<(), String> {
         served.load(Ordering::Relaxed),
         rejected.load(Ordering::Relaxed),
         elapsed,
+    );
+    let stats = engine.stats();
+    println!(
+        "shedding: {} shed at client ({} admission-tier, {} dequeue-tier), {} worker panic(s), {} breaker trip(s), degraded: {}",
+        shed.load(Ordering::Relaxed),
+        stats.shed_admission,
+        stats.shed_deadline,
+        stats.worker_panics,
+        stats.breaker_trips,
+        stats.degraded
     );
 
     if args.metrics {

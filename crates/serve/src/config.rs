@@ -23,6 +23,26 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Worker threads executing batches.
     pub workers: usize,
+    /// Default per-request deadline budget (µs, engine clock) applied by
+    /// `ServeEngine::submit`; `0` disables deadlines (requests wait
+    /// indefinitely, the pre-deadline behaviour). Requests whose
+    /// deadline expires in the queue are shed at dequeue time with
+    /// [`ServeError::DeadlineExceeded`] instead of occupying a batch
+    /// slot, and admission rejects outright once the estimated queue
+    /// wait already exceeds the budget.
+    pub deadline_us: u64,
+    /// Worker panics within [`ServeConfig::panic_window_us`] that trip
+    /// the circuit breaker into degraded single-query (batch = 1) mode,
+    /// so a poisoned query stops taking out co-batched neighbors. Must
+    /// be at least 1.
+    pub panic_threshold: u32,
+    /// Sliding window (µs, engine clock) over which worker panics are
+    /// counted toward [`ServeConfig::panic_threshold`].
+    pub panic_window_us: u64,
+    /// How long (µs, engine clock) the engine stays in degraded
+    /// single-query mode after the breaker trips; a panic during the
+    /// cooldown restarts it. After a quiet cooldown, batching resumes.
+    pub breaker_cooldown_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -32,6 +52,10 @@ impl Default for ServeConfig {
             max_wait_us: 2_000,
             queue_capacity: 256,
             workers: 1,
+            deadline_us: 0,
+            panic_threshold: 3,
+            panic_window_us: 10_000_000,
+            breaker_cooldown_us: 5_000_000,
         }
     }
 }
@@ -49,6 +73,9 @@ impl ServeConfig {
         if self.workers == 0 {
             return Err(ServeError::InvalidConfig("workers must be at least 1".into()));
         }
+        if self.panic_threshold == 0 {
+            return Err(ServeError::InvalidConfig("panic_threshold must be at least 1".into()));
+        }
         Ok(())
     }
 }
@@ -64,6 +91,7 @@ mod tests {
             ServeConfig { max_batch: 0, ..ServeConfig::default() },
             ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
             ServeConfig { workers: 0, ..ServeConfig::default() },
+            ServeConfig { panic_threshold: 0, ..ServeConfig::default() },
         ] {
             assert!(matches!(bad.validate(), Err(ServeError::InvalidConfig(_))));
         }

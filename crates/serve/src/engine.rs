@@ -1,5 +1,5 @@
 //! The batching serving engine: a bounded submission queue drained by a
-//! worker pool into stacked forward passes.
+//! supervised worker pool into stacked forward passes.
 //!
 //! Life of a request: [`ServeEngine::submit`] stamps it with the engine
 //! clock and enqueues it (rejecting with [`ServeError::QueueFull`] or
@@ -10,10 +10,33 @@
 //! each request on its private reply channel. Per-query error isolation
 //! comes from the stage: one malformed query in a batch fails alone.
 //!
+//! Three production failure modes are handled explicitly:
+//!
+//! * **Overload** — requests may carry a deadline
+//!   ([`ServeEngine::submit_with_deadline`], or the config-wide
+//!   [`ServeConfig::deadline_us`]). Expired requests are shed at
+//!   dequeue time with a typed [`ServeError::DeadlineExceeded`] instead
+//!   of wasting a batch slot (tier 1), and admission rejects outright
+//!   once the engine's queue-wait estimate — an EWMA of the same waits
+//!   the `serve.queue_wait` histogram records — already exceeds the
+//!   request's budget (tier 2).
+//! * **Worker death** — each worker runs under `catch_unwind`
+//!   supervision: a panicking batch answers every in-flight reply with
+//!   [`ServeError::WorkerPanicked`] (never dropping a `Pending`
+//!   handle), then the worker loop restarts, so the pool never loses
+//!   strength.
+//! * **Poisoned queries** — [`ServeConfig::panic_threshold`] panics
+//!   within [`ServeConfig::panic_window_us`] trip a circuit breaker
+//!   into degraded single-query (batch = 1) mode for
+//!   [`ServeConfig::breaker_cooldown_us`], so one poisoned query stops
+//!   taking out co-batched neighbors; a quiet cooldown restores
+//!   batching.
+//!
 //! Shutdown is graceful by construction: [`ServeEngine::shutdown`] (or
 //! `Drop`) flips the shutdown flag — which atomically stops admissions —
-//! then workers keep flushing until the queue is empty and exit, so
-//! every accepted request gets exactly one response.
+//! then workers keep flushing until the queue is empty and exit; a
+//! final assert-drain answers anything a dying worker could have left
+//! behind, so every accepted request gets exactly one response.
 //!
 //! Time flows through an injected [`Clock`], never a direct wall-clock
 //! read: workers bound their real condvar waits to a short poll tick and
@@ -22,6 +45,7 @@
 //! batching time deterministically.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
@@ -44,20 +68,78 @@ use crate::error::ServeError;
 /// idle engine about one wake-up per millisecond.
 const POLL_TICK_US: u64 = 1_000;
 
+/// Smoothing shift of the queue-wait EWMA: each observed wait
+/// contributes 1/2^`EWMA_SHIFT` of itself (α = 1/8).
+const EWMA_SHIFT: u64 = 3;
+
+/// Sentinel deadline for requests without one.
+const NO_DEADLINE: u64 = u64::MAX;
+
 type Reply = Result<Vec<VertexId>, ServeError>;
 
-/// One queued request: the query, its admission timestamp (engine
-/// clock), and the channel its answer travels back on.
+/// One queued request: the query, its admission timestamp and absolute
+/// deadline (engine clock; [`NO_DEADLINE`] when none), and the channel
+/// its answer travels back on.
 struct Request {
     query: Query,
     enqueue_us: u64,
+    deadline_us: u64,
     reply: mpsc::Sender<Reply>,
+}
+
+impl Request {
+    /// The deadline budget this request carried (0 when none).
+    fn budget_us(&self) -> u64 {
+        if self.deadline_us == NO_DEADLINE {
+            0
+        } else {
+            self.deadline_us.saturating_sub(self.enqueue_us)
+        }
+    }
 }
 
 /// Queue state guarded by the engine mutex.
 struct QueueState {
     requests: VecDeque<Request>,
     shutting_down: bool,
+}
+
+/// Circuit-breaker state guarded by its own mutex: recent panic
+/// timestamps (engine clock) and, when tripped, the trip time the
+/// cooldown is measured from.
+struct BreakerState {
+    panic_times_us: VecDeque<u64>,
+    tripped_at_us: Option<u64>,
+}
+
+/// Engine-local failure accounting, mirrored into the obs counters but
+/// available in every build (tests assert exact counts without the obs
+/// feature).
+#[derive(Default)]
+struct EngineCounters {
+    shed_admission: AtomicU64,
+    shed_deadline: AtomicU64,
+    worker_panics: AtomicU64,
+    breaker_trips: AtomicU64,
+}
+
+/// A point-in-time snapshot of the engine's failure accounting,
+/// returned by [`ServeEngine::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests rejected at admission because the estimated queue wait
+    /// already exceeded their deadline budget (tier-2 shedding).
+    pub shed_admission: u64,
+    /// Requests shed at dequeue time after their deadline expired in
+    /// the queue (tier-1 shedding).
+    pub shed_deadline: u64,
+    /// Worker panics absorbed by supervision (each one answered its
+    /// whole in-flight batch with [`ServeError::WorkerPanicked`]).
+    pub worker_panics: u64,
+    /// Times the circuit breaker tripped into degraded mode.
+    pub breaker_trips: u64,
+    /// Whether the engine is currently in degraded single-query mode.
+    pub degraded: bool,
 }
 
 /// State shared between the engine handle and its workers.
@@ -68,6 +150,19 @@ struct Shared {
     policy: BatchPolicy,
     capacity: usize,
     clock: Arc<dyn Clock>,
+    default_deadline_us: u64,
+    panic_threshold: u32,
+    panic_window_us: u64,
+    breaker_cooldown_us: u64,
+    /// EWMA (µs) of queue waits observed at dequeue — the admission
+    /// shedding estimator. Mirrors the `serve.queue_wait` histogram's
+    /// observations, but lives here so shedding works in every build.
+    wait_ewma_us: AtomicU64,
+    breaker: Mutex<BreakerState>,
+    counters: EngineCounters,
+    /// One in-flight slot per worker: the batch currently executing is
+    /// parked here so the supervisor can answer it after a panic.
+    in_flight: Vec<Mutex<Vec<Request>>>,
 }
 
 /// An in-flight request handle returned by [`ServeEngine::submit`].
@@ -76,20 +171,41 @@ struct Shared {
 /// discarded (the query still runs — admission is a commitment).
 pub struct Pending {
     rx: mpsc::Receiver<Reply>,
+    deadline: Option<Duration>,
 }
 
 impl Pending {
     /// Blocks until the engine answers this request.
     ///
+    /// When the request carries a deadline, the block is bounded: after
+    /// the full deadline budget elapses in *caller* (real) time without
+    /// an answer, this gives up with [`ServeError::DeadlineExceeded`].
+    /// That is a backstop for a stalled engine — in healthy operation
+    /// the engine sheds the request first and the typed reply arrives
+    /// through the channel. Without a deadline this blocks until the
+    /// engine replies, indefinitely if it never does.
+    ///
     /// A closed channel means the serving worker died before responding,
     /// surfaced as [`ServeError::WorkerLost`] — it cannot happen during
     /// an orderly shutdown, which drains every accepted request first.
     pub fn wait(self) -> Reply {
-        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+        match self.deadline {
+            Some(limit) => match self.rx.recv_timeout(limit) {
+                Ok(reply) => reply,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let us = u64::try_from(limit.as_micros()).unwrap_or(NO_DEADLINE);
+                    Err(ServeError::DeadlineExceeded { waited_us: us, deadline_us: us })
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::WorkerLost),
+            },
+            // qdgnn-analyze: allow(QD008, reason = "documented contract: without a deadline, wait() blocks until the engine replies; deadline-carrying requests take the bounded recv_timeout branch above")
+            None => self.rx.recv().unwrap_or(Err(ServeError::WorkerLost)),
+        }
     }
 
     /// Non-blocking probe: `Some(reply)` once the engine has answered,
-    /// `None` while the request is still queued or executing.
+    /// `None` while the request is still queued or executing. Never
+    /// blocks, so the request deadline plays no role here.
     pub fn try_wait(&self) -> Option<Reply> {
         match self.rx.try_recv() {
             Ok(reply) => Some(reply),
@@ -98,7 +214,10 @@ impl Pending {
         }
     }
 
-    /// Blocks up to `timeout` for the answer; `None` on timeout.
+    /// Blocks up to `timeout` for the answer; `None` on timeout. The
+    /// caller-chosen bound is used as given — it is not clamped to the
+    /// request deadline, so a generous timeout can out-wait a deadline
+    /// and still observe the engine's typed shed reply.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Reply> {
         match self.rx.recv_timeout(timeout) {
             Ok(reply) => Some(reply),
@@ -108,8 +227,8 @@ impl Pending {
     }
 }
 
-/// The serving engine: owns an [`OnlineStage`] and a pool of worker
-/// threads batching queued queries through it.
+/// The serving engine: owns an [`OnlineStage`] and a pool of supervised
+/// worker threads batching queued queries through it.
 pub struct ServeEngine {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -121,9 +240,10 @@ impl ServeEngine {
         Self::with_clock(stage, cfg, Arc::new(MonotonicClock::new()))
     }
 
-    /// Starts an engine with an injected [`Clock`] — the batching
-    /// deadline (`max_wait_us`) is measured against this clock, which is
-    /// how tests pin the deadline behaviour with a fake clock.
+    /// Starts an engine with an injected [`Clock`] — batching deadlines,
+    /// request deadlines and the breaker cooldown are all measured
+    /// against this clock, which is how tests pin overload and failure
+    /// behaviour with a fake clock.
     pub fn with_clock(
         stage: OnlineStage<'static>,
         cfg: ServeConfig,
@@ -137,26 +257,56 @@ impl ServeEngine {
             policy: BatchPolicy { max_batch: cfg.max_batch, max_wait_us: cfg.max_wait_us },
             capacity: cfg.queue_capacity,
             clock,
+            default_deadline_us: cfg.deadline_us,
+            panic_threshold: cfg.panic_threshold,
+            panic_window_us: cfg.panic_window_us,
+            breaker_cooldown_us: cfg.breaker_cooldown_us,
+            wait_ewma_us: AtomicU64::new(0),
+            breaker: Mutex::new(BreakerState {
+                panic_times_us: VecDeque::new(),
+                tripped_at_us: None,
+            }),
+            counters: EngineCounters::default(),
+            in_flight: (0..cfg.workers).map(|_| Mutex::new(Vec::new())).collect(),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("qdgnn-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || supervise_worker(&shared, i))
                     .map_err(|e| ServeError::InvalidConfig(format!("failed to spawn worker: {e}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ServeEngine { shared, workers: Mutex::new(workers) })
     }
 
-    /// Enqueues a query for batched execution. Never blocks: a full
-    /// queue rejects with [`ServeError::QueueFull`] (backpressure) and a
-    /// draining engine with [`ServeError::ShuttingDown`]. On `Ok`, the
-    /// request is committed — exactly one reply will reach the returned
-    /// [`Pending`] handle.
+    /// Enqueues a query for batched execution with the config-default
+    /// deadline ([`ServeConfig::deadline_us`]; `0` means none). Never
+    /// blocks: a full queue rejects with [`ServeError::QueueFull`]
+    /// (backpressure), a draining engine with
+    /// [`ServeError::ShuttingDown`], and — when a deadline applies — an
+    /// estimated queue wait already past the budget with
+    /// [`ServeError::DeadlineExceeded`] (admission-tier shedding). On
+    /// `Ok`, the request is committed — exactly one reply will reach the
+    /// returned [`Pending`] handle.
     pub fn submit(&self, query: Query) -> Result<Pending, ServeError> {
+        let d = self.shared.default_deadline_us;
+        self.submit_with_deadline(query, (d > 0).then(|| Duration::from_micros(d)))
+    }
+
+    /// [`ServeEngine::submit`] with an explicit per-request deadline
+    /// budget (`None` disables the deadline for this request regardless
+    /// of the config default). The budget is measured on the engine
+    /// clock from admission; a request still queued when it expires is
+    /// shed at dequeue time with [`ServeError::DeadlineExceeded`].
+    pub fn submit_with_deadline(
+        &self,
+        query: Query,
+        deadline: Option<Duration>,
+    ) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::channel();
+        let budget_us = deadline.map(|d| u64::try_from(d.as_micros()).unwrap_or(NO_DEADLINE));
         {
             let mut q = self.shared.queue.lock();
             if q.shutting_down {
@@ -167,22 +317,60 @@ impl ServeEngine {
                 qdgnn_obs::counter("serve.rejected").inc();
                 return Err(ServeError::QueueFull { capacity: self.shared.capacity });
             }
+            if let Some(budget) = budget_us {
+                // Tier-2 shedding: reject on admission when the queue is
+                // backed up and recent queue waits already exceed this
+                // request's whole budget — it would only be shed later
+                // anyway, after clogging the queue. An empty queue skips
+                // the estimate: the next flush is bounded by max_wait.
+                let estimate = self.shared.wait_ewma_us.load(Ordering::Relaxed);
+                if !q.requests.is_empty() && estimate > budget {
+                    self.shared.counters.shed_admission.fetch_add(1, Ordering::Relaxed);
+                    qdgnn_obs::counter("serve.shed").inc();
+                    qdgnn_obs::counter("serve.deadline_exceeded").inc();
+                    return Err(ServeError::DeadlineExceeded { waited_us: 0, deadline_us: budget });
+                }
+            }
             let enqueue_us = self.shared.clock.now_micros();
-            q.requests.push_back(Request { query, enqueue_us, reply: tx });
+            let deadline_us =
+                budget_us.map(|b| enqueue_us.saturating_add(b)).unwrap_or(NO_DEADLINE);
+            q.requests.push_back(Request { query, enqueue_us, deadline_us, reply: tx });
             qdgnn_obs::observe("serve.queue_depth", q.requests.len() as f64);
         }
         self.shared.work_ready.notify_one();
-        Ok(Pending { rx })
+        Ok(Pending { rx, deadline: budget_us.map(Duration::from_micros) })
     }
 
     /// Convenience: [`ServeEngine::submit`] plus [`Pending::wait`].
     pub fn query_blocking(&self, query: Query) -> Result<Vec<VertexId>, ServeError> {
+        // qdgnn-analyze: allow(QD008, reason = "wait() is deadline-bounded whenever the engine has a default deadline; the unbounded no-deadline case is this API's documented contract")
         self.submit(query)?.wait()
     }
 
     /// Requests currently queued (excludes batches already executing).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.lock().requests.len()
+    }
+
+    /// Snapshot of the engine's failure accounting: shed counts per
+    /// tier, absorbed worker panics, breaker trips, and whether the
+    /// engine is currently degraded. Exact in every build (independent
+    /// of the obs feature).
+    pub fn stats(&self) -> EngineStats {
+        let now = self.shared.clock.now_micros();
+        EngineStats {
+            shed_admission: self.shared.counters.shed_admission.load(Ordering::Relaxed),
+            shed_deadline: self.shared.counters.shed_deadline.load(Ordering::Relaxed),
+            worker_panics: self.shared.counters.worker_panics.load(Ordering::Relaxed),
+            breaker_trips: self.shared.counters.breaker_trips.load(Ordering::Relaxed),
+            degraded: degraded_now(&self.shared, now),
+        }
+    }
+
+    /// Whether the circuit breaker currently holds the engine in
+    /// degraded single-query (batch = 1) mode.
+    pub fn is_degraded(&self) -> bool {
+        degraded_now(&self.shared, self.shared.clock.now_micros())
     }
 
     /// Stops admissions, drains every queued request through the workers,
@@ -200,10 +388,34 @@ impl ServeEngine {
             workers.drain(..).collect()
         };
         for handle in handles {
-            // A worker that panicked already lost its in-flight replies
-            // (surfaced to waiters as WorkerLost); nothing to salvage.
+            // Supervision means workers only exit through the orderly
+            // drain; a join error would be a double panic inside the
+            // supervisor itself, with nothing left to salvage there.
             let _ = handle.join();
         }
+        // Assert-drain: after an orderly join, no queue entry or
+        // in-flight slot may still hold a reply channel. Anything found
+        // here is a supervision bug — answer it with a typed error
+        // rather than dropping the Pending handle, and fail loudly in
+        // debug builds.
+        let mut leaked = 0usize;
+        {
+            let mut q = self.shared.queue.lock();
+            while let Some(req) = q.requests.pop_front() {
+                leaked += 1;
+                let _ = req.reply.send(Err(ServeError::WorkerPanicked));
+            }
+        }
+        for slot in &self.shared.in_flight {
+            for req in std::mem::take(&mut *slot.lock()) {
+                leaked += 1;
+                let _ = req.reply.send(Err(ServeError::WorkerPanicked));
+            }
+        }
+        debug_assert_eq!(
+            leaked, 0,
+            "shutdown had to answer {leaked} replies the supervised workers should have drained"
+        );
     }
 }
 
@@ -213,12 +425,90 @@ impl Drop for ServeEngine {
     }
 }
 
+/// Whether the breaker currently holds the engine degraded at `now`.
+/// Recovery happens here: a cooldown that has fully elapsed closes the
+/// breaker (clearing the panic history) and restores batching.
+fn degraded_now(shared: &Shared, now: u64) -> bool {
+    let mut b = shared.breaker.lock();
+    match b.tripped_at_us {
+        None => false,
+        Some(tripped) => {
+            if now.saturating_sub(tripped) >= shared.breaker_cooldown_us {
+                b.tripped_at_us = None;
+                b.panic_times_us.clear();
+                qdgnn_obs::gauge("serve.degraded_mode").set(0.0);
+                false
+            } else {
+                true
+            }
+        }
+    }
+}
+
+/// Breaker accounting for one absorbed worker panic: count it, age out
+/// panics older than the window, and trip (or re-arm) degraded mode.
+fn record_panic(shared: &Shared) {
+    let now = shared.clock.now_micros();
+    shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+    qdgnn_obs::counter("serve.worker_panics").inc();
+    let mut b = shared.breaker.lock();
+    b.panic_times_us.push_back(now);
+    let cutoff = now.saturating_sub(shared.panic_window_us);
+    while b.panic_times_us.front().is_some_and(|&t| t < cutoff) {
+        b.panic_times_us.pop_front();
+    }
+    if b.tripped_at_us.is_some() {
+        // A panic during the cooldown restarts it.
+        b.tripped_at_us = Some(now);
+    } else if b.panic_times_us.len() as u32 >= shared.panic_threshold {
+        b.tripped_at_us = Some(now);
+        shared.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        qdgnn_obs::counter("serve.breaker_trips").inc();
+        qdgnn_obs::gauge("serve.degraded_mode").set(1.0);
+    }
+}
+
+/// Tier-1 shedding: answers every queued request whose deadline has
+/// passed with a typed [`ServeError::DeadlineExceeded`], removing it
+/// from the queue so it never occupies a batch slot. Runs under the
+/// queue lock; the channel send never blocks.
+fn shed_expired(shared: &Shared, q: &mut QueueState, now: u64) {
+    let mut i = 0;
+    while i < q.requests.len() {
+        let expired = q.requests.get(i).is_some_and(|r| r.deadline_us <= now);
+        if !expired {
+            i += 1;
+            continue;
+        }
+        let Some(req) = q.requests.remove(i) else { break };
+        shared.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+        qdgnn_obs::counter("serve.shed").inc();
+        qdgnn_obs::counter("serve.deadline_exceeded").inc();
+        let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
+            waited_us: now.saturating_sub(req.enqueue_us),
+            deadline_us: req.budget_us(),
+        }));
+    }
+}
+
+/// Folds one observed queue wait into the admission estimator. Races
+/// between workers can drop an update; the estimator only needs to
+/// track the trend, not count exactly.
+fn observe_wait_ewma(shared: &Shared, wait_us: u64) {
+    let e = shared.wait_ewma_us.load(Ordering::Relaxed);
+    let updated = e - (e >> EWMA_SHIFT) + (wait_us >> EWMA_SHIFT);
+    shared.wait_ewma_us.store(updated, Ordering::Relaxed);
+}
+
 /// Blocks until the policy says flush (or shutdown drains), then drains
-/// up to `max_batch` requests FIFO. `None` means shutdown with an empty
-/// queue: the worker should exit.
+/// up to `max_batch` requests FIFO (1 in degraded mode). Expired
+/// requests are shed before every flush decision. `None` means shutdown
+/// with an empty queue: the worker should exit.
 fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
     let mut q = shared.queue.lock();
     loop {
+        let now = shared.clock.now_micros();
+        shed_expired(shared, &mut q, now);
         if q.shutting_down {
             if q.requests.is_empty() {
                 return None;
@@ -226,7 +516,12 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             // Drain mode: flush whatever is queued, deadline irrelevant.
             break;
         }
-        let now = shared.clock.now_micros();
+        // Degraded mode suspends batching entirely: flush single
+        // requests as soon as they arrive, so a poisoned query can only
+        // take itself down.
+        if !q.requests.is_empty() && degraded_now(shared, now) {
+            break;
+        }
         let oldest = q.requests.front().map(|r| r.enqueue_us).unwrap_or(now);
         match shared.policy.decide(q.requests.len(), oldest, now) {
             BatchDecision::Flush => break,
@@ -244,12 +539,16 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             }
         }
     }
-    let take = q.requests.len().min(shared.policy.max_batch);
+    let now = shared.clock.now_micros();
+    let limit = if degraded_now(shared, now) { 1 } else { shared.policy.max_batch };
+    let take = q.requests.len().min(limit);
     Some(q.requests.drain(..take).collect())
 }
 
-/// Worker body: flush batches until shutdown empties the queue.
-fn worker_loop(shared: &Shared) {
+/// Worker body: flush batches until shutdown empties the queue. The
+/// in-flight `slot` parks each batch across the fallible forward pass
+/// so the supervisor can answer it after a panic.
+fn worker_loop(shared: &Shared, slot: &Mutex<Vec<Request>>) {
     loop {
         let Some(batch) = next_batch(shared) else {
             return;
@@ -260,13 +559,45 @@ fn worker_loop(shared: &Shared) {
         let _flush_span = qdgnn_obs::span!("serve.flush");
         let now = shared.clock.now_micros();
         for req in &batch {
-            qdgnn_obs::observe("serve.queue_wait", now.saturating_sub(req.enqueue_us) as f64);
+            let wait = now.saturating_sub(req.enqueue_us);
+            qdgnn_obs::observe("serve.queue_wait", wait as f64);
+            observe_wait_ewma(shared, wait);
         }
         let queries: Vec<Query> = batch.iter().map(|r| r.query.clone()).collect();
+        // Park the batch before the forward pass: if the stage panics,
+        // nothing below runs, and the supervisor drains the slot.
+        *slot.lock() = batch;
         let results = shared.stage.try_query_batch(&queries);
+        let batch = std::mem::take(&mut *slot.lock());
         for (req, res) in batch.into_iter().zip(results) {
             // A submitter that dropped its Pending no longer cares.
             let _ = req.reply.send(res.map_err(ServeError::Query));
+        }
+    }
+}
+
+/// Worker supervisor: runs the worker loop under `catch_unwind`. A
+/// panic answers the parked batch with [`ServeError::WorkerPanicked`]
+/// (zero lost replies), records the panic for the breaker, and restarts
+/// the loop — the pool returns to full strength immediately. An `Ok`
+/// return is the orderly shutdown drain finishing.
+fn supervise_worker(shared: &Shared, idx: usize) {
+    let Some(slot) = shared.in_flight.get(idx) else {
+        return;
+    };
+    loop {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(shared, slot)
+        }));
+        match outcome {
+            Ok(()) => return,
+            Err(_) => {
+                let dying: Vec<Request> = std::mem::take(&mut *slot.lock());
+                for req in dying {
+                    let _ = req.reply.send(Err(ServeError::WorkerPanicked));
+                }
+                record_panic(shared);
+            }
         }
     }
 }
@@ -296,7 +627,13 @@ mod tests {
         let (stage, reference, queries) = twin_stages();
         let engine = ServeEngine::new(
             stage,
-            ServeConfig { max_batch: 8, max_wait_us: 200, queue_capacity: 64, workers: 1 },
+            ServeConfig {
+                max_batch: 8,
+                max_wait_us: 200,
+                queue_capacity: 64,
+                workers: 1,
+                ..ServeConfig::default()
+            },
         )
         .expect("engine must start");
         let pending: Vec<Pending> = queries
@@ -308,6 +645,7 @@ mod tests {
             let want = reference.try_query(q).expect("reference agrees the query is valid");
             assert_eq!(got, want, "engine answer must match the direct stage call");
         }
+        assert_eq!(engine.stats(), EngineStats::default(), "clean run records no failures");
         engine.shutdown();
     }
 
@@ -319,7 +657,13 @@ mod tests {
         let clock = Arc::new(FakeClock::new());
         let engine = ServeEngine::with_clock(
             stage,
-            ServeConfig { max_batch: 64, max_wait_us: 10_000, queue_capacity: 4, workers: 1 },
+            ServeConfig {
+                max_batch: 64,
+                max_wait_us: 10_000,
+                queue_capacity: 4,
+                workers: 1,
+                ..ServeConfig::default()
+            },
             clock,
         )
         .expect("engine must start");
@@ -354,7 +698,13 @@ mod tests {
         let engine = ServeEngine::with_clock(
             stage,
             // max_batch 3 < 9 queued: the drain needs several flushes.
-            ServeConfig { max_batch: 3, max_wait_us: 60_000_000, queue_capacity: 32, workers: 1 },
+            ServeConfig {
+                max_batch: 3,
+                max_wait_us: 60_000_000,
+                queue_capacity: 32,
+                workers: 1,
+                ..ServeConfig::default()
+            },
             clock,
         )
         .expect("engine must start");
@@ -382,7 +732,13 @@ mod tests {
         let clock = Arc::new(FakeClock::new());
         let engine = ServeEngine::with_clock(
             stage,
-            ServeConfig { max_batch: 8, max_wait_us: 500, queue_capacity: 16, workers: 1 },
+            ServeConfig {
+                max_batch: 8,
+                max_wait_us: 500,
+                queue_capacity: 16,
+                workers: 1,
+                ..ServeConfig::default()
+            },
             Arc::clone(&clock) as Arc<dyn Clock>,
         )
         .expect("engine must start");
@@ -402,6 +758,143 @@ mod tests {
         let ra = a.wait_timeout(Duration::from_secs(30)).expect("deadline crossed, must flush");
         let rb = b.wait_timeout(Duration::from_secs(30)).expect("deadline crossed, must flush");
         assert!(ra.is_ok() && rb.is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn expired_requests_are_shed_at_dequeue_with_exact_accounting() {
+        let (stage, _reference, queries) = twin_stages();
+        let clock = Arc::new(FakeClock::new());
+        let engine = ServeEngine::with_clock(
+            stage,
+            ServeConfig {
+                max_batch: 8,
+                max_wait_us: 1_000,
+                queue_capacity: 16,
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .expect("engine must start");
+        // Two requests with a 500µs budget, one without. Clock frozen:
+        // nothing flushes, nothing sheds.
+        let a = engine
+            .submit_with_deadline(queries[0].clone(), Some(Duration::from_micros(500)))
+            .expect("queue has room");
+        let b = engine
+            .submit_with_deadline(queries[1].clone(), Some(Duration::from_micros(500)))
+            .expect("queue has room");
+        let c = engine.submit(queries[2].clone()).expect("queue has room");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(a.try_wait().is_none() && b.try_wait().is_none() && c.try_wait().is_none());
+        // Crossing the 500µs budgets (but not the 1000µs batch wait):
+        // the worker sheds exactly the deadline'd pair at dequeue time.
+        clock.advance_micros(600);
+        let ra = a.wait_timeout(Duration::from_secs(30)).expect("shed reply must arrive");
+        let rb = b.wait_timeout(Duration::from_secs(30)).expect("shed reply must arrive");
+        for r in [ra, rb] {
+            match r {
+                Err(ServeError::DeadlineExceeded { waited_us, deadline_us }) => {
+                    assert_eq!(deadline_us, 500);
+                    assert_eq!(waited_us, 600, "shed wait is measured on the engine clock");
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        // The no-deadline request is untouched and still flushes on the
+        // batch deadline.
+        assert!(c.try_wait().is_none(), "no-deadline request must not be shed");
+        clock.advance_micros(400);
+        assert!(c.wait_timeout(Duration::from_secs(30)).expect("batch deadline flush").is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.shed_deadline, 2, "exactly the two expired requests are shed");
+        assert_eq!(stats.shed_admission, 0);
+        assert_eq!(stats.worker_panics, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn admission_sheds_when_estimated_wait_exceeds_budget() {
+        let (stage, _reference, queries) = twin_stages();
+        let clock = Arc::new(FakeClock::new());
+        let engine = ServeEngine::with_clock(
+            stage,
+            ServeConfig {
+                max_batch: 64,
+                max_wait_us: 50_000,
+                queue_capacity: 16,
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .expect("engine must start");
+        // Teach the estimator that queue waits are huge: four requests
+        // that sit 100ms (fake) before their batch flushes.
+        let slow: Vec<Pending> = queries
+            .iter()
+            .take(4)
+            .map(|q| engine.submit(q.clone()).expect("queue has room"))
+            .collect();
+        clock.advance_micros(100_000);
+        for p in slow {
+            assert!(p.wait_timeout(Duration::from_secs(30)).expect("flush").is_ok());
+        }
+        // Keep the queue non-empty (admission shedding is moot on an
+        // empty queue), then offer a request whose 1ms budget the
+        // estimator already knows cannot be met.
+        let parked = engine.submit(queries[4].clone()).expect("queue has room");
+        match engine.submit_with_deadline(queries[5].clone(), Some(Duration::from_micros(1_000))) {
+            Err(ServeError::DeadlineExceeded { waited_us, deadline_us }) => {
+                assert_eq!(waited_us, 0, "admission-tier sheds never entered the queue");
+                assert_eq!(deadline_us, 1_000);
+            }
+            Err(other) => panic!("expected admission-tier DeadlineExceeded, got {other:?}"),
+            Ok(_) => panic!("expected admission-tier DeadlineExceeded, got an admission"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.shed_admission, 1);
+        assert_eq!(stats.shed_deadline, 0);
+        // A deadline the estimator can meet is still admitted.
+        let ok = engine
+            .submit_with_deadline(queries[6].clone(), Some(Duration::from_secs(600)))
+            .expect("generous deadline must be admitted");
+        engine.shutdown();
+        assert!(parked.wait().is_ok());
+        assert!(ok.wait().is_ok());
+    }
+
+    #[test]
+    fn pending_wait_is_bounded_by_the_request_deadline() {
+        let (stage, _reference, queries) = twin_stages();
+        // Frozen clock, oversized batch: the engine is effectively
+        // stalled. The caller-side backstop must still return.
+        let clock = Arc::new(FakeClock::new());
+        let engine = ServeEngine::with_clock(
+            stage,
+            ServeConfig {
+                max_batch: 64,
+                max_wait_us: 60_000_000,
+                queue_capacity: 16,
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            clock,
+        )
+        .expect("engine must start");
+        let p = engine
+            .submit_with_deadline(queries[0].clone(), Some(Duration::from_millis(50)))
+            .expect("queue has room");
+        let t0 = std::time::Instant::now();
+        match p.wait() {
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            other => panic!("stalled engine must surface DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "wait() must not block far past the deadline budget"
+        );
         engine.shutdown();
     }
 

@@ -25,6 +25,24 @@ pub enum ServeError {
     /// The query itself was malformed (per-query error isolation: other
     /// requests in the same batch are unaffected).
     Query(QdgnnError),
+    /// The request's deadline expired before a worker could serve it.
+    /// Shed at admission (`waited_us == 0`: the estimated queue wait
+    /// already exceeded the budget) or at dequeue (the request sat in
+    /// the queue past its deadline and was answered without wasting a
+    /// batch slot).
+    DeadlineExceeded {
+        /// How long the request actually waited before being shed (µs,
+        /// engine clock; `0` for admission-tier sheds).
+        waited_us: u64,
+        /// The deadline budget the request carried (µs).
+        deadline_us: u64,
+    },
+    /// The worker executing this request's batch panicked mid-flight.
+    /// The request was *not* necessarily the poison: every co-batched
+    /// request of a dying batch gets this answer, the worker restarts,
+    /// and repeated panics trip the engine into degraded single-query
+    /// mode (see `ServeConfig::panic_threshold`).
+    WorkerPanicked,
     /// The worker serving this request disappeared before responding —
     /// only possible if a worker thread died abnormally.
     WorkerLost,
@@ -40,6 +58,13 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::Query(e) => write!(f, "query error: {e}"),
+            ServeError::DeadlineExceeded { waited_us, deadline_us } => write!(
+                f,
+                "deadline exceeded ({deadline_us}µs budget, shed after {waited_us}µs in queue)"
+            ),
+            ServeError::WorkerPanicked => {
+                write!(f, "serving worker panicked while executing this request's batch")
+            }
             ServeError::WorkerLost => write!(f, "worker thread lost before responding"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
         }
@@ -72,5 +97,10 @@ mod tests {
         let e = ServeError::Query(QdgnnError::EmptyQuery);
         assert!(e.to_string().contains("at least one vertex"));
         assert!(std::error::Error::source(&e).is_some());
+        let e = ServeError::DeadlineExceeded { waited_us: 750, deadline_us: 500 };
+        assert!(e.to_string().contains("500"));
+        assert!(e.to_string().contains("750"));
+        let e = ServeError::WorkerPanicked;
+        assert!(e.to_string().contains("panicked"));
     }
 }

@@ -20,8 +20,25 @@
 //!   every accepted request before returning: exactly one reply per
 //!   accepted submission, always.
 //!
+//! The engine is built to stay correct under overload and partial
+//! failure, not just under happy-path load:
+//!
+//! * requests can carry **deadlines** ([`ServeConfig::deadline_us`] or
+//!   [`ServeEngine::submit_with_deadline`]); expired requests are shed
+//!   with a typed [`ServeError::DeadlineExceeded`] at dequeue time, and
+//!   admission rejects outright once the engine's queue-wait estimate
+//!   already exceeds the budget (two-tier load shedding);
+//! * workers are **supervised**: a panicking batch answers every
+//!   in-flight request with [`ServeError::WorkerPanicked`] and the
+//!   worker restarts — no reply is ever lost, the pool never shrinks;
+//! * repeated panics trip a **circuit breaker** into degraded
+//!   single-query (batch = 1) mode so a poisoned query cannot keep
+//!   taking out co-batched neighbors ([`ServeEngine::is_degraded`],
+//!   [`ServeEngine::stats`]).
+//!
 //! The flush decision itself is the pure [`BatchPolicy`], driven by an
-//! injected clock so tests can pin deadline behaviour with a fake clock.
+//! injected clock so tests can pin deadline, shedding, and breaker
+//! behaviour with a fake clock.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -53,5 +70,5 @@ pub mod error;
 
 pub use batcher::{BatchDecision, BatchPolicy};
 pub use config::ServeConfig;
-pub use engine::{Pending, ServeEngine};
+pub use engine::{EngineStats, Pending, ServeEngine};
 pub use error::ServeError;
