@@ -1,0 +1,469 @@
+//! The cross-file call graph, assembled from [`crate::symbols`] output.
+//!
+//! Name resolution is deliberately *over-approximate* — the analyzer has
+//! no type information, so:
+//!
+//! * a plain call `name(…)` resolves to every free function named
+//!   `name` in the workspace;
+//! * a qualified call `Type::name(…)` resolves to methods of `Type`
+//!   (with `Self::` resolving through the caller's own `impl` owner);
+//! * a method call `recv.name(…)` resolves to **every** impl method
+//!   named `name`, whatever the owner — the receiver's type is unknown.
+//!
+//! Over-approximation keeps the reachability rules sound (a chain that
+//! exists is never missed because resolution guessed wrong); spurious
+//! chains are burned down with reasoned suppressions at the offending
+//! site. Test functions are excluded from the graph entirely.
+//!
+//! On top of the edges, this module precomputes per-function *transitive
+//! closures* of lock acquisitions and blocking sites (fixpoint over the
+//! graph, so call cycles converge), which QD010/QD011 consume, and
+//! provides shortest-chain queries for QD009's chain-carrying findings.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::lexer::SourceFile;
+use crate::symbols::{self, FnSym};
+
+/// An exemplar blocking site, as propagated through the call graph.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BlockInfo {
+    /// The blocking call name (`wait`, `recv`, `sleep`, …).
+    pub what: String,
+    /// File of the blocking site.
+    pub file: String,
+    /// 1-based line of the blocking site.
+    pub line: u32,
+}
+
+/// A lock acquisition fact, as propagated through the call graph.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AcquireInfo {
+    /// The lock's name (receiver segment).
+    pub lock: String,
+    /// File of the acquisition.
+    pub file: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All non-test function symbols, flattened across files.
+    pub fns: Vec<FnSym>,
+    /// Free functions by name.
+    free_by_name: HashMap<String, Vec<usize>>,
+    /// Impl methods by name (all owners).
+    methods_by_name: HashMap<String, Vec<usize>>,
+    /// Impl methods by (owner, name).
+    by_owner_name: HashMap<(String, String), Vec<usize>>,
+    /// Resolved call edges: `edges[i]` is the deduplicated, sorted list
+    /// of callee indices of `fns[i]`.
+    pub edges: Vec<Vec<usize>>,
+    /// Per-function transitive set of locks acquired by the function or
+    /// anything it can call.
+    acq_closure: Vec<BTreeSet<AcquireInfo>>,
+    /// Per-function transitive set of blocking sites reachable from the
+    /// function (its own and its callees').
+    block_closure: Vec<BTreeSet<BlockInfo>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from scanned sources. Test functions are
+    /// dropped: they neither seed entry points nor extend chains.
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut fns: Vec<FnSym> = Vec::new();
+        for sf in files {
+            fns.extend(symbols::extract(sf).into_iter().filter(|f| !f.is_test));
+        }
+        let mut free_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut methods_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_owner_name: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            match &f.owner {
+                None => free_by_name.entry(f.name.clone()).or_default().push(i),
+                Some(owner) => {
+                    methods_by_name.entry(f.name.clone()).or_default().push(i);
+                    by_owner_name.entry((owner.clone(), f.name.clone())).or_default().push(i);
+                }
+            }
+        }
+        let mut graph = CallGraph {
+            edges: Vec::new(),
+            acq_closure: Vec::new(),
+            block_closure: Vec::new(),
+            fns,
+            free_by_name,
+            methods_by_name,
+            by_owner_name,
+        };
+        graph.edges = (0..graph.fns.len())
+            .map(|i| {
+                let mut callees = BTreeSet::new();
+                let caller_owner = graph.fns[i].owner.clone();
+                for call in &graph.fns[i].calls {
+                    for c in graph.resolve(call.name.as_str(), call.qualifier.as_deref(), call.method, caller_owner.as_deref()) {
+                        callees.insert(c);
+                    }
+                }
+                callees.into_iter().collect()
+            })
+            .collect();
+        graph.compute_closures();
+        graph
+    }
+
+    /// Resolves one call to candidate definition indices.
+    pub fn resolve(
+        &self,
+        name: &str,
+        qualifier: Option<&str>,
+        method: bool,
+        caller_owner: Option<&str>,
+    ) -> Vec<usize> {
+        if method {
+            return self.methods_by_name.get(name).cloned().unwrap_or_default();
+        }
+        if let Some(q) = qualifier {
+            let owner = if q == "Self" { caller_owner.unwrap_or(q) } else { q };
+            if let Some(hits) = self.by_owner_name.get(&(owner.to_string(), name.to_string())) {
+                return hits.clone();
+            }
+            // The qualifier may be a module path segment rather than a
+            // type (`faultless::serve_forward_hook()`): fall back to
+            // free functions of that name.
+            return self.free_by_name.get(name).cloned().unwrap_or_default();
+        }
+        self.free_by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Locks transitively acquired by `fns[i]` or anything it calls.
+    pub fn acquired_transitively(&self, i: usize) -> &BTreeSet<AcquireInfo> {
+        &self.acq_closure[i]
+    }
+
+    /// Blocking sites transitively reachable from `fns[i]`.
+    pub fn blocks_transitively(&self, i: usize) -> &BTreeSet<BlockInfo> {
+        &self.block_closure[i]
+    }
+
+    /// Fixpoint of the acquisition/blocking closures over the edge
+    /// relation; call cycles converge because the sets only grow.
+    fn compute_closures(&mut self) {
+        let n = self.fns.len();
+        self.acq_closure = (0..n)
+            .map(|i| {
+                self.fns[i]
+                    .acquires
+                    .iter()
+                    .map(|a| AcquireInfo {
+                        lock: a.lock.clone(),
+                        file: self.fns[i].file.clone(),
+                        line: a.line,
+                    })
+                    .collect()
+            })
+            .collect();
+        self.block_closure = (0..n)
+            .map(|i| {
+                self.fns[i]
+                    .blocks
+                    .iter()
+                    .map(|b| BlockInfo {
+                        what: b.what.clone(),
+                        file: self.fns[i].file.clone(),
+                        line: b.line,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for &callee in &self.edges[i] {
+                    if callee == i {
+                        continue;
+                    }
+                    // Split borrows: clone the callee sets (small) and
+                    // merge into the caller's.
+                    let acq: Vec<AcquireInfo> = self.acq_closure[callee].iter().cloned().collect();
+                    for a in acq {
+                        if self.acq_closure[i].insert(a) {
+                            changed = true;
+                        }
+                    }
+                    let blk: Vec<BlockInfo> = self.block_closure[callee].iter().cloned().collect();
+                    for b in blk {
+                        if self.block_closure[i].insert(b) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Human-readable label for `fns[i]`: `Owner::name` or `name`.
+    pub fn label(&self, i: usize) -> String {
+        let f = &self.fns[i];
+        match &f.owner {
+            Some(o) => format!("{o}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    /// Breadth-first shortest call chains from `start`: returns, for
+    /// every reachable function, the predecessor on one shortest chain.
+    /// Deterministic because edges are sorted.
+    pub fn shortest_chains(&self, start: usize) -> HashMap<usize, usize> {
+        let mut pred: HashMap<usize, usize> = HashMap::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(i) = queue.pop_front() {
+            for &c in &self.edges[i] {
+                if seen.insert(c) {
+                    pred.insert(c, i);
+                    queue.push_back(c);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Reconstructs the chain `start → … → target` as labels, using the
+    /// predecessor map from [`CallGraph::shortest_chains`].
+    pub fn chain_labels(&self, start: usize, target: usize, pred: &HashMap<usize, usize>) -> Vec<String> {
+        let mut rev = vec![target];
+        let mut cur = target;
+        while cur != start {
+            match pred.get(&cur) {
+                Some(&p) => {
+                    rev.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        rev.reverse();
+        rev.into_iter().map(|i| self.label(i)).collect()
+    }
+}
+
+/// One edge in the lock-order graph: `to` acquired while a guard of
+/// `from` is held, at `file:line` (possibly through a call — then `via`
+/// names the callee whose body does the acquiring).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// The lock already held.
+    pub from: String,
+    /// The lock acquired while `from` is held.
+    pub to: String,
+    /// File of the acquisition (or of the call that leads to it).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// `Some(callee)` when the acquisition happens inside a call made
+    /// while the guard is held.
+    pub via: Option<String>,
+}
+
+/// Builds the workspace lock-order graph: direct nested acquisitions
+/// plus acquisitions reached through calls made while a guard is held.
+/// Self-edges are dropped — with name-based lock identity they are
+/// usually the same lock seen through two paths, not a real order.
+pub fn lock_order_edges(graph: &CallGraph) -> Vec<LockEdge> {
+    let mut edges: BTreeSet<LockEdge> = BTreeSet::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        for a in &f.acquires {
+            for held in &a.held {
+                if held != &a.lock {
+                    edges.insert(LockEdge {
+                        from: held.clone(),
+                        to: a.lock.clone(),
+                        file: f.file.clone(),
+                        line: a.line,
+                        via: None,
+                    });
+                }
+            }
+        }
+        for call in &f.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            for &callee in &graph.edges[i] {
+                if !graph.fns[callee].calls.iter().any(|_| true) && graph.fns[callee].acquires.is_empty() {
+                    continue;
+                }
+            }
+            // Locks transitively acquired by any resolution of this call.
+            for callee in graph.resolve(
+                call.name.as_str(),
+                call.qualifier.as_deref(),
+                call.method,
+                f.owner.as_deref(),
+            ) {
+                for acq in graph.acquired_transitively(callee) {
+                    for held in &call.held {
+                        if held != &acq.lock {
+                            edges.insert(LockEdge {
+                                from: held.clone(),
+                                to: acq.lock.clone(),
+                                file: f.file.clone(),
+                                line: call.line,
+                                via: Some(call.name.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges.into_iter().collect()
+}
+
+/// Transitive reachability over the lock-order graph: `reach[a]`
+/// contains every lock reachable from `a` through acquired-after edges.
+pub fn lock_reachability(edges: &[LockEdge]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.clone()).or_default().insert(e.to.clone());
+    }
+    let mut reach: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for start in adj.keys() {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack: Vec<&String> = adj[start].iter().collect();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n.clone()) {
+                if let Some(next) = adj.get(n) {
+                    stack.extend(next.iter());
+                }
+            }
+        }
+        reach.insert(start.clone(), seen);
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let sfs: Vec<SourceFile> =
+            files.iter().map(|(p, s)| SourceFile::scan(p, s)).collect();
+        CallGraph::build(&sfs)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn cross_file_edges_resolve_free_and_method_calls() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "fn entry() { helper(); obj.work(); }\n"),
+            (
+                "crates/b/src/lib.rs",
+                "fn helper() {}\nimpl Worker {\n    fn work(&self) {}\n}\n",
+            ),
+        ]);
+        let e = idx(&g, "entry");
+        let callees: Vec<String> = g.edges[e].iter().map(|&c| g.label(c)).collect();
+        assert_eq!(callees, vec!["helper".to_string(), "Worker::work".to_string()]);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_owner_and_self() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+impl A {
+    fn go(&self) { Self::aux(); B::make(); }
+    fn aux() {}
+}
+impl B {
+    fn make() {}
+    fn aux() {}
+}
+",
+        )]);
+        let go = idx(&g, "go");
+        let callees: Vec<String> = g.edges[go].iter().map(|&c| g.label(c)).collect();
+        assert_eq!(callees, vec!["A::aux".to_string(), "B::make".to_string()]);
+    }
+
+    #[test]
+    fn closures_propagate_through_cycles() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+fn a() { b(); }
+fn b() { a(); let g = state.lock(); rx.recv();
+}
+",
+        )]);
+        let a = idx(&g, "a");
+        let acq: Vec<&str> = g.acquired_transitively(a).iter().map(|x| x.lock.as_str()).collect();
+        assert_eq!(acq, vec!["state"]);
+        let blk: Vec<&str> = g.blocks_transitively(a).iter().map(|x| x.what.as_str()).collect();
+        assert_eq!(blk, vec!["recv"]);
+    }
+
+    #[test]
+    fn shortest_chains_reconstruct_labels() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )]);
+        let a = idx(&g, "a");
+        let c = idx(&g, "c");
+        let pred = g.shortest_chains(a);
+        assert_eq!(g.chain_labels(a, c, &pred), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lock_order_edges_span_calls() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+fn outer() {
+    let g = alpha.lock();
+    inner();
+}
+fn inner() { let h = beta.lock(); }
+",
+        )]);
+        let edges = lock_order_edges(&g);
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].from, "alpha");
+        assert_eq!(edges[0].to, "beta");
+        assert_eq!(edges[0].via.as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_the_graph() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { live(); }\n}\n",
+        )]);
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "live");
+    }
+
+    #[test]
+    fn reachability_detects_cycles() {
+        let edges = vec![
+            LockEdge { from: "a".into(), to: "b".into(), file: "x.rs".into(), line: 1, via: None },
+            LockEdge { from: "b".into(), to: "c".into(), file: "x.rs".into(), line: 2, via: None },
+            LockEdge { from: "c".into(), to: "a".into(), file: "x.rs".into(), line: 3, via: None },
+        ];
+        let reach = lock_reachability(&edges);
+        assert!(reach["a"].contains("a"), "cycle must make a reach itself");
+        assert!(reach["b"].contains("a"));
+    }
+}

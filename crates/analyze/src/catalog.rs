@@ -150,6 +150,62 @@ pub const RULES: &[Rule] = &[
         enforced_paths: &["crates/serve/src/"],
         suppressible: true,
     },
+    Rule {
+        id: "QD009",
+        summary: "no panic reachable from a serving entry point through any \
+                  call chain",
+        rationale: "QD001 stops at the function boundary; a serving-path \
+                    entry point (any qdgnn-serve function, OnlineStage::try_*, \
+                    predict_scores_batch) that calls a helper which unwraps \
+                    two crates away still aborts the whole engine. The \
+                    interprocedural pass walks the workspace call graph and \
+                    reports the panic site together with one shortest call \
+                    chain that reaches it. Resolution is name-based and \
+                    over-approximate; suppress at the panic site with the \
+                    reason the call can in fact never panic.",
+        enforced_paths: &["crates/serve/", "crates/core/", "crates/obs/"],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD010",
+        summary: "no lock-order inversion anywhere in the workspace",
+        rationale: "Two locks taken in opposite orders on two threads deadlock \
+                    only under load; the analyzer builds the acquired-after \
+                    graph (lock B taken while a guard of A is held, including \
+                    through calls) and reports every cycle with both \
+                    acquisition sites. The runtime lockcheck feature in the \
+                    vendored parking_lot shim enforces the same invariant \
+                    under test. Lock identity is name-based; suppress where \
+                    two names are provably the same lock or the orders can \
+                    never interleave.",
+        enforced_paths: &[],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD011",
+        summary: "no blocking call while holding a lock guard",
+        rationale: "wait/recv/recv_timeout/sleep/join executed — directly or \
+                    through any callee — while a Mutex/RwLock guard is live \
+                    stalls every thread that needs that lock for the full \
+                    block duration. Condvar waits intentionally sleep with \
+                    the guard (the wait releases it); those sites are the \
+                    sanctioned suppressions.",
+        enforced_paths: &[],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD012",
+        summary: "stale suppression: an allow comment that silences nothing \
+                  (low severity)",
+        rationale: "A suppression that no longer matches any finding is a \
+                    burned-down exemption rotting in place: it documents a \
+                    hazard that no longer exists and will silently swallow \
+                    the next real finding on that line. Delete it, or — for \
+                    a suppression kept deliberately (e.g. feature-gated \
+                    code) — suppress this rule with a reason.",
+        enforced_paths: &[],
+        suppressible: true,
+    },
 ];
 
 /// Looks up a rule by id.

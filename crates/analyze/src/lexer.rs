@@ -257,6 +257,16 @@ fn lex(src: &str) -> (Vec<Tok>, Vec<Suppression>) {
             }
             c if is_ident_start(c) => {
                 let start = i;
+                // Raw identifier `r#fn` / `r#impl`: one Ident token whose
+                // text keeps the `r#` prefix, so keyword-shaped names can
+                // never masquerade as the `fn`/`impl` keywords downstream
+                // (the call-graph layer keys item detection on those).
+                if c == 'r'
+                    && chars.get(i + 1) == Some(&'#')
+                    && chars.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    i += 2;
+                }
                 while i < chars.len() && is_ident_cont(chars[i]) {
                     i += 1;
                 }
@@ -408,10 +418,14 @@ fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
 
 /// Marks tokens inside `#[cfg(test)]` / `#[test]` item bodies.
 ///
-/// An attribute whose bracket group contains the identifier `test` (and
-/// not `not`, so `#[cfg(not(test))]` stays live code) taints the next
-/// brace-delimited body — `mod tests { … }`, `fn case() { … }` — unless
-/// a top-level `;` intervenes (attribute on a brace-less item).
+/// An attribute taints the next brace-delimited body — `mod tests { … }`,
+/// `fn case() { … }` — when its bracket group mentions the identifier
+/// `test` *positively*, i.e. not underneath a `not(…)` scope. That
+/// covers `#[test]`, `#[cfg(test)]`, and the combinators
+/// `#[cfg(all(test, …))]` / `#[cfg(any(test, …))]` (with or without
+/// sibling `not(…)` clauses), while `#[cfg(not(test))]` stays live
+/// code. A top-level `;` before the `{` aborts (attribute on a
+/// brace-less item).
 fn mark_test_regions(toks: &mut [Tok]) {
     let mut i = 0;
     while i < toks.len() {
@@ -422,22 +436,42 @@ fn mark_test_regions(toks: &mut [Tok]) {
                 j += 1;
             }
             if j < toks.len() && toks[j].text == "[" {
-                // Collect the attribute's bracket group.
+                // Collect the attribute's bracket group, tracking paren
+                // nesting so `not(…)` scopes can be recognized: `test`
+                // counts only outside every `not(…)`.
                 let mut brackets = 1;
                 let mut has_test = false;
-                let mut has_not = false;
+                let mut paren_depth = 0u32;
+                let mut not_scopes: Vec<u32> = Vec::new();
+                let mut prev_was_not = false;
                 let mut k = j + 1;
                 while k < toks.len() && brackets > 0 {
+                    let was_not = prev_was_not;
+                    prev_was_not = false;
                     match toks[k].text.as_str() {
                         "[" => brackets += 1,
                         "]" => brackets -= 1,
-                        "test" if toks[k].kind == TokKind::Ident => has_test = true,
-                        "not" if toks[k].kind == TokKind::Ident => has_not = true,
+                        "(" => {
+                            paren_depth += 1;
+                            if was_not {
+                                not_scopes.push(paren_depth);
+                            }
+                        }
+                        ")" => {
+                            if not_scopes.last() == Some(&paren_depth) {
+                                not_scopes.pop();
+                            }
+                            paren_depth = paren_depth.saturating_sub(1);
+                        }
+                        "test" if toks[k].kind == TokKind::Ident && not_scopes.is_empty() => {
+                            has_test = true;
+                        }
+                        "not" if toks[k].kind == TokKind::Ident => prev_was_not = true,
                         _ => {}
                     }
                     k += 1;
                 }
-                if has_test && !has_not {
+                if has_test {
                     // Find the item body: the first `{` before any
                     // top-level `;`.
                     let mut m = k;
@@ -533,6 +567,57 @@ fn live2() { z.unwrap(); }
         let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
         let sf = SourceFile::scan("x.rs", src);
         assert!(sf.toks.iter().filter(|t| t.text == "unwrap").all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn cfg_all_and_any_combinators_are_test_regions() {
+        for attr in [
+            "#[cfg(all(test, feature = \"chaos\"))]",
+            "#[cfg(any(test, feature = \"chaos\"))]",
+            "#[cfg(all(test, not(feature = \"chaos\")))]",
+        ] {
+            let src = format!("{attr}\nmod helpers {{ fn t() {{ x.unwrap(); }} }}\nfn live() {{ y.unwrap(); }}\n");
+            let sf = SourceFile::scan("x.rs", &src);
+            let unwraps: Vec<&Tok> = sf.toks.iter().filter(|t| t.text == "unwrap").collect();
+            assert_eq!(unwraps.len(), 2, "{attr}");
+            assert!(unwraps[0].in_test, "{attr}: combinator body must be a test region");
+            assert!(!unwraps[1].in_test, "{attr}: following item must stay live");
+        }
+    }
+
+    #[test]
+    fn cfg_not_wrapping_combinators_stays_live() {
+        for attr in ["#[cfg(not(all(test, unix)))]", "#[cfg(not(any(test, unix)))]"] {
+            let src = format!("{attr}\nfn live() {{ x.unwrap(); }}\n");
+            let sf = SourceFile::scan("x.rs", &src);
+            assert!(
+                sf.toks.iter().filter(|t| t.text == "unwrap").all(|t| !t.in_test),
+                "{attr}: negated test cfg must stay live"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_tokens() {
+        let sf = SourceFile::scan("x.rs", "fn r#fn() { r#impl(); let r#let = 1; }\n");
+        let idents: Vec<&str> = sf
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "r#fn", "r#impl", "let", "r#let"]);
+        // No stray `#` token may leak out of a raw identifier, or the
+        // test-region scanner could misparse it as an attribute start.
+        assert!(sf.toks.iter().all(|t| t.text != "#"));
+    }
+
+    #[test]
+    fn raw_strings_still_lex_after_raw_identifier_support() {
+        let sf = SourceFile::scan("x.rs", "let a = r#\"panic!() inside\"#; let b = r#ident;\n");
+        assert_eq!(sf.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(sf.toks.iter().any(|t| t.text == "r#ident"));
+        assert!(sf.toks.iter().all(|t| t.text != "panic"));
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! pieces together: filesystem walking, suppression handling, and
 //! deterministic ordering of findings.
 
+pub mod callgraph;
 pub mod catalog;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 
 use std::fs;
 use std::io;
@@ -62,9 +64,9 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
 }
 
 /// Runs every rule over the scanned sources, applies suppressions, adds
-/// QD000 meta-findings for reason-less or unknown suppressions, and
-/// returns findings sorted by `(path, line, rule)` for reproducible CI
-/// diffs.
+/// QD000 meta-findings for reason-less or unknown suppressions and
+/// QD012 for suppressions that silenced nothing, and returns findings
+/// sorted by `(path, line, rule)` for reproducible CI diffs.
 pub fn analyze_sources(files: &[SourceFile]) -> Vec<Finding> {
     let mut raw = Vec::new();
     for sf in files {
@@ -80,20 +82,65 @@ pub fn analyze_sources(files: &[SourceFile]) -> Vec<Finding> {
         raw.extend(rules::qd003(t, props));
     }
 
+    // The interprocedural rules run on the whole-workspace call graph.
+    let graph = callgraph::CallGraph::build(files);
+    raw.extend(rules::qd009(files, &graph));
+    raw.extend(rules::qd010(files, &graph));
+    raw.extend(rules::qd011(files, &graph));
+
     // A suppression covers findings of its rule on its own line and the
     // line below, so it can trail the offending expression or sit
-    // directly above it.
-    let mut out: Vec<Finding> = raw
-        .into_iter()
-        .filter(|f| {
-            let Some(sf) = files.iter().find(|s| s.path == f.path) else { return true };
-            !sf.suppressions.iter().any(|sup| {
+    // directly above it. Suppressions that matched at least one raw
+    // finding are recorded so QD012 can flag the stale ones.
+    let mut used: std::collections::HashSet<(String, u32, String)> =
+        std::collections::HashSet::new();
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        let matched = files.iter().find(|s| s.path == f.path).and_then(|sf| {
+            sf.suppressions.iter().find(|sup| {
                 sup.rule == f.rule
                     && (sup.line == f.line || sup.line + 1 == f.line)
                     && catalog::rule(&sup.rule).is_some_and(|r| r.suppressible)
             })
-        })
-        .collect();
+        });
+        match matched {
+            Some(sup) => {
+                used.insert((f.path.clone(), sup.line, sup.rule.clone()));
+            }
+            None => out.push(f),
+        }
+    }
+
+    // QD012: a well-formed suppression (known suppressible rule) that
+    // silenced nothing is itself stale. An `allow(QD012, …)` on or
+    // above the stale suppression's line silences the report — and is
+    // counted as used itself, so the meta level terminates.
+    for sf in files {
+        for sup in &sf.suppressions {
+            if sup.rule == "QD012"
+                || !catalog::rule(&sup.rule).is_some_and(|r| r.suppressible)
+                || used.contains(&(sf.path.clone(), sup.line, sup.rule.clone()))
+            {
+                continue;
+            }
+            let silenced = sf.suppressions.iter().any(|s| {
+                s.rule == "QD012" && (s.line == sup.line || s.line + 1 == sup.line)
+            });
+            if silenced {
+                continue;
+            }
+            out.push(Finding {
+                rule: "QD012",
+                path: sf.path.clone(),
+                line: sup.line,
+                message: format!(
+                    "stale suppression: this `allow({})` silences no finding — delete it, or suppress with `allow(QD012, reason = \"…\")` if it is kept deliberately",
+                    sup.rule
+                ),
+                snippet: sf.snippet(sup.line),
+            });
+        }
+    }
 
     for sf in files {
         for sup in &sf.suppressions {
@@ -208,6 +255,74 @@ fn f(x: Option<u32>) -> u32 {
         sorted.sort();
         assert_eq!(keys, sorted);
         assert!(keys[0].0.contains("inputs"), "{keys:?}");
+    }
+
+    #[test]
+    fn qd012_stale_suppression_is_reported() {
+        let src = "
+fn f(x: u32) -> u32 {
+    // qdgnn-analyze: allow(QD001, reason = \"was an unwrap once, burned down\")
+    x + 1
+}
+";
+        let files = vec![SourceFile::scan("crates/core/src/serve.rs", src)];
+        let f = analyze_sources(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "QD012");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("stale suppression"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn qd012_not_reported_when_suppression_still_matches() {
+        let src = "
+fn f(x: Option<u32>) -> u32 {
+    // qdgnn-analyze: allow(QD001, reason = \"startup only\")
+    x.unwrap()
+}
+";
+        let files = vec![SourceFile::scan("crates/core/src/serve.rs", src)];
+        assert!(analyze_sources(&files).is_empty(), "{:?}", analyze_sources(&files));
+    }
+
+    #[test]
+    fn qd012_can_itself_be_suppressed_for_deliberate_keeps() {
+        let src = "
+fn f(x: u32) -> u32 {
+    // qdgnn-analyze: allow(QD012, reason = \"unwrap only exists with feature X\")
+    // qdgnn-analyze: allow(QD001, reason = \"feature-gated unwrap below\")
+    x + 1
+}
+";
+        let files = vec![SourceFile::scan("crates/core/src/serve.rs", src)];
+        assert!(analyze_sources(&files).is_empty(), "{:?}", analyze_sources(&files));
+    }
+
+    #[test]
+    fn interprocedural_findings_flow_through_suppressions() {
+        // A cross-crate panic chain silenced at the panic site.
+        let serve = || {
+            SourceFile::scan("crates/serve/src/engine.rs", "fn handle(q: Query) { score(q); }\n")
+        };
+        let core = SourceFile::scan(
+            "crates/core/src/scoring.rs",
+            "
+fn score(q: Query) -> f32 {
+    // qdgnn-analyze: allow(QD009, reason = \"weights validated at load time\")
+    q.weights.unwrap().total()
+}
+",
+        );
+        let loud = analyze_sources(&[
+            serve(),
+            SourceFile::scan(
+                "crates/core/src/scoring.rs",
+                "fn score(q: Query) -> f32 { q.weights.unwrap().total() }\n",
+            ),
+        ]);
+        assert!(loud.iter().any(|f| f.rule == "QD009"), "{loud:?}");
+        let quiet = analyze_sources(&[serve(), core]);
+        assert!(quiet.is_empty(), "{quiet:?}");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use qdgnn_analyze::{analyze_root, catalog, findings_json};
+use qdgnn_analyze::{analyze_sources, catalog, collect_sources, findings_json, rules};
 
 const USAGE: &str = "\
 qdgnn-analyze — repo-specific static analysis for the qdgnn workspace
@@ -18,6 +18,7 @@ OPTIONS:
     --deny          exit non-zero if any finding is reported (CI gate)
     --json          print findings as JSON instead of text
     --catalog       print the machine-readable rule catalog as JSON and exit
+    --self-check    verify the catalog and the implemented rules agree, then exit
     --root <PATH>   workspace root to scan (default: auto-detected from cwd)
     -h, --help      show this help
 ";
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
     let mut show_catalog = false;
+    let mut self_check = false;
     let mut root: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
             "--deny" => deny = true,
             "--json" => json = true,
             "--catalog" => show_catalog = true,
+            "--self-check" => self_check = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -57,14 +60,35 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if self_check {
+        return run_self_check();
+    }
+
     let root = root.unwrap_or_else(find_workspace_root);
-    let findings = match analyze_root(&root) {
+    if !root.is_dir() {
+        eprintln!(
+            "error: workspace root {} does not exist or is not a directory — \
+             a `--deny` gate pointed at a bad path would pass vacuously",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let files = match collect_sources(&root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if files.is_empty() {
+        eprintln!(
+            "error: no .rs files found under {} — refusing to report a vacuously \
+             clean tree (wrong --root, or everything skipped?)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let findings = analyze_sources(&files);
 
     if json {
         println!("{}", findings_json(&findings));
@@ -87,6 +111,43 @@ fn main() -> ExitCode {
         } else {
             ExitCode::SUCCESS
         }
+    }
+}
+
+/// `--self-check`: the catalog and the rule engine must agree exactly —
+/// every implemented rule id appears in the catalog exactly once and
+/// vice versa, so a rule can't land undocumented (or get documented but
+/// never enforced).
+fn run_self_check() -> ExitCode {
+    let catalog_ids: Vec<&str> = catalog::RULES.iter().map(|r| r.id).collect();
+    let mut ok = true;
+    for id in rules::IMPLEMENTED_IDS {
+        match catalog_ids.iter().filter(|c| *c == id).count() {
+            1 => {}
+            0 => {
+                eprintln!("self-check: rule {id} is implemented but missing from the catalog");
+                ok = false;
+            }
+            n => {
+                eprintln!("self-check: rule {id} appears {n} times in the catalog");
+                ok = false;
+            }
+        }
+    }
+    for id in &catalog_ids {
+        if !rules::IMPLEMENTED_IDS.contains(id) {
+            eprintln!("self-check: rule {id} is in the catalog but not implemented");
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "self-check ok: {} rules, catalog and engine agree",
+            rules::IMPLEMENTED_IDS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 

@@ -5,7 +5,9 @@
 //! [`crate::analyze_sources`]. Every rule carries self-tests on
 //! embedded good/bad snippets at the bottom of this file.
 
+use crate::callgraph::{self, CallGraph};
 use crate::lexer::{SourceFile, TokKind};
+use crate::symbols::FnSym;
 
 /// One rule violation.
 #[derive(Clone, Debug)]
@@ -552,6 +554,203 @@ pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// Every rule id this engine implements, in catalog order. The
+/// `--self-check` CLI mode (and CI) asserts this list and the catalog
+/// agree exactly, so a rule can't land without documentation or vice
+/// versa. QD000 and QD012 are meta-rules implemented in
+/// [`crate::analyze_sources`]; QD003 is the cross-file gradient-check
+/// rule; QD009–QD011 are the interprocedural rules below.
+pub const IMPLEMENTED_IDS: &[&str] = &[
+    "QD000", "QD001", "QD002", "QD003", "QD004", "QD005", "QD006", "QD007",
+    "QD008", "QD009", "QD010", "QD011", "QD012",
+];
+
+/// Crates whose panic sites are in scope for QD009. Panics in
+/// `crates/tensor` / `crates/nn` are bounded-by-construction shape
+/// asserts on the training path and stay QD001's (per-file) problem.
+const QD009_PANIC_CRATES: &[&str] = &["crates/serve/", "crates/core/", "crates/obs/"];
+
+/// Is this function a serving-path entry point for QD009?
+fn qd009_entry(f: &FnSym) -> bool {
+    f.file.starts_with("crates/serve/src/")
+        || (f.owner.as_deref() == Some("OnlineStage") && f.name.starts_with("try_"))
+        || f.name == "predict_scores_batch"
+}
+
+fn snippet_at(files: &[SourceFile], path: &str, line: u32) -> String {
+    files
+        .iter()
+        .find(|s| s.path == path)
+        .map(|s| s.snippet(line))
+        .unwrap_or_default()
+}
+
+/// QD009: transitive panic-reachability. Walks shortest call chains
+/// from every serving entry point; a `panic!`-family macro or
+/// `unwrap`/`expect` call in any transitively-reached function (in the
+/// serve/core/obs crates) is reported at the panic site, carrying one
+/// shortest entry chain in the message. Direct panics (chain length 1)
+/// are QD001's job and are skipped here.
+pub fn qd009(files: &[SourceFile], g: &CallGraph) -> Vec<Finding> {
+    use std::collections::BTreeMap;
+    // Panic site → (chain labels, panic kind). Keeps the shortest chain
+    // over all entries, ties broken lexicographically, so output is
+    // deterministic and one suppression at the site covers every chain.
+    let mut best: BTreeMap<(String, u32), (Vec<String>, String)> = BTreeMap::new();
+    let mut entries: Vec<usize> =
+        (0..g.fns.len()).filter(|&i| qd009_entry(&g.fns[i])).collect();
+    entries.sort_by_key(|&i| g.label(i));
+    for e in entries {
+        let pred = g.shortest_chains(e);
+        for (&target, _) in pred.iter() {
+            if target == e {
+                continue;
+            }
+            let f = &g.fns[target];
+            if !QD009_PANIC_CRATES.iter().any(|c| f.file.starts_with(c)) {
+                continue;
+            }
+            for p in &f.panics {
+                let chain = g.chain_labels(e, target, &pred);
+                let key = (f.file.clone(), p.line);
+                let better = match best.get(&key) {
+                    None => true,
+                    Some((old, _)) => {
+                        chain.len() < old.len() || (chain.len() == old.len() && chain < *old)
+                    }
+                };
+                if better {
+                    best.insert(key, (chain, p.what.clone()));
+                }
+            }
+        }
+    }
+    best.into_iter()
+        .map(|((path, line), (chain, what))| Finding {
+            rule: "QD009",
+            snippet: snippet_at(files, &path, line),
+            message: format!(
+                "`{}` here is reachable from serving entry point `{}` via call chain `{}` — a panic anywhere on this chain aborts the engine; return a typed error instead (or suppress here with the reason this site can in fact never panic)",
+                what,
+                chain[0],
+                chain.join(" → "),
+            ),
+            path,
+            line,
+        })
+        .collect()
+}
+
+/// QD010: static lock-order inversion. Builds the workspace
+/// acquired-after graph (including acquisitions reached through calls
+/// made while a guard is held) and reports every edge that sits on a
+/// cycle, together with a witness edge for the opposite order.
+pub fn qd010(files: &[SourceFile], g: &CallGraph) -> Vec<Finding> {
+    use std::collections::BTreeSet;
+    let edges = callgraph::lock_order_edges(g);
+    let reach = callgraph::lock_reachability(&edges);
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for e in &edges {
+        if !reach.get(&e.to).is_some_and(|r| r.contains(&e.from)) {
+            continue; // this edge is not on a cycle
+        }
+        let pair = if e.from < e.to {
+            (e.from.clone(), e.to.clone())
+        } else {
+            (e.to.clone(), e.from.clone())
+        };
+        if !reported.insert(pair) {
+            continue;
+        }
+        // A witness for the reverse direction: an edge out of `e.to`
+        // that leads back to `e.from`.
+        let witness = edges.iter().find(|w| {
+            w.from == e.to
+                && (w.to == e.from
+                    || reach.get(&w.to).is_some_and(|r| r.contains(&e.from)))
+        });
+        let via = |v: &Option<String>| match v {
+            Some(callee) => format!(" (via call to `{callee}`)"),
+            None => String::new(),
+        };
+        let wtxt = match witness {
+            Some(w) => format!(
+                "`{}` is acquired while holding `{}` at {}:{}{}",
+                w.to, w.from, w.file, w.line, via(&w.via)
+            ),
+            None => format!("`{}` transitively reaches `{}`", e.to, e.from),
+        };
+        out.push(Finding {
+            rule: "QD010",
+            path: e.file.clone(),
+            line: e.line,
+            message: format!(
+                "lock-order inversion: `{}` is acquired while holding `{}` here{}, but {} — two threads interleaving these orders deadlock; impose one global order (or suppress with the reason the orders can never interleave)",
+                e.to, e.from, via(&e.via), wtxt
+            ),
+            snippet: snippet_at(files, &e.file, e.line),
+        });
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    out
+}
+
+/// QD011: blocking while holding a lock guard — directly, or through a
+/// call whose transitive closure contains a blocking site.
+pub fn qd011(files: &[SourceFile], g: &CallGraph) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &g.fns {
+        for b in &f.blocks {
+            if b.held.is_empty() {
+                continue;
+            }
+            out.push(Finding {
+                rule: "QD011",
+                path: f.file.clone(),
+                line: b.line,
+                message: format!(
+                    "blocking `{}()` while holding guard(s) `{}` — every thread needing the lock stalls for the full block; drop the guard first (condvar waits that release the guard are the sanctioned suppression)",
+                    b.what,
+                    b.held.join("`, `"),
+                ),
+                snippet: snippet_at(files, &f.file, b.line),
+            });
+        }
+        for call in &f.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            for callee in
+                g.resolve(&call.name, call.qualifier.as_deref(), call.method, f.owner.as_deref())
+            {
+                // One finding per call site, naming the first (sorted)
+                // transitively-reached blocking site as the exemplar.
+                if let Some(blk) = g.blocks_transitively(callee).iter().next() {
+                    out.push(Finding {
+                        rule: "QD011",
+                        path: f.file.clone(),
+                        line: call.line,
+                        message: format!(
+                            "call to `{}` while holding guard(s) `{}` reaches blocking `{}()` at {}:{} — every thread needing the lock stalls for the full block; drop the guard before the call",
+                            call.name,
+                            call.held.join("`, `"),
+                            blk.what,
+                            blk.file,
+                            blk.line,
+                        ),
+                        snippet: snippet_at(files, &f.file, call.line),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    out.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -899,5 +1098,219 @@ mod tests {
             "fn f(w: &mut W) {\n    let g = m.lock();\n    w.write(b\"x\");\n}\n",
         );
         assert!(qd005(&sf).is_empty(), "{:?}", qd005(&sf));
+    }
+
+    // ---- QD009 (interprocedural) ----
+
+    fn interproc(files: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let sfs: Vec<SourceFile> =
+            files.iter().map(|(p, s)| SourceFile::scan(p, s)).collect();
+        let g = CallGraph::build(&sfs);
+        (sfs, g)
+    }
+
+    #[test]
+    fn qd009_bad_panic_reached_across_crates_carries_full_chain() {
+        let (files, g) = interproc(&[
+            (
+                "crates/serve/src/engine.rs",
+                "fn handle(q: Query) { route(q); }\n",
+            ),
+            (
+                "crates/core/src/dispatch.rs",
+                "fn route(q: Query) { score(q); }\n",
+            ),
+            (
+                "crates/core/src/scoring.rs",
+                "fn score(q: Query) -> f32 { q.weights.unwrap().total() }\n",
+            ),
+        ]);
+        let f = qd009(&files, &g);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "QD009");
+        assert_eq!(f[0].path, "crates/core/src/scoring.rs");
+        assert!(
+            f[0].message.contains("`handle → route → score`"),
+            "full chain must be in the message: {}",
+            f[0].message
+        );
+        assert!(f[0].message.contains("`unwrap`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn qd009_bad_online_stage_try_entry_is_covered() {
+        let (files, g) = interproc(&[(
+            "crates/core/src/serve.rs",
+            "
+impl OnlineStage {
+    pub fn try_query(&self) { helper(); }
+}
+fn helper() { panic!(\"boom\"); }
+",
+        )]);
+        let f = qd009(&files, &g);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`OnlineStage::try_query`"), "{}", f[0].message);
+        assert!(f[0].message.contains("`panic!`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn qd009_good_direct_panics_and_non_entry_chains_are_not_its_job() {
+        let (files, g) = interproc(&[
+            // Direct panic in an entry: QD001's finding, not QD009's.
+            ("crates/serve/src/lib.rs", "fn direct(x: Option<u8>) { x.unwrap(); }\n"),
+            // Chain rooted outside any entry point.
+            ("crates/core/src/train.rs", "fn train_step() { offline(); }\n"),
+            ("crates/core/src/util.rs", "fn offline() { panic!(\"offline only\"); }\n"),
+        ]);
+        assert!(qd009(&files, &g).is_empty(), "{:?}", qd009(&files, &g));
+    }
+
+    #[test]
+    fn qd009_good_panics_outside_domain_crates_are_ignored() {
+        let (files, g) = interproc(&[
+            ("crates/serve/src/engine.rs", "fn handle() { shape_check(); }\n"),
+            ("crates/tensor/src/dense.rs", "fn shape_check() { assert_shapes(); x.unwrap(); }\n"),
+        ]);
+        assert!(qd009(&files, &g).is_empty(), "{:?}", qd009(&files, &g));
+    }
+
+    // ---- QD010 (interprocedural) ----
+
+    #[test]
+    fn qd010_bad_seeded_inversion_two_locks_opposite_orders() {
+        // The static twin of the runtime lockcheck seeded-inversion test:
+        // thread 1 takes alpha then beta, thread 2 takes beta then alpha.
+        let (files, g) = interproc(&[(
+            "crates/core/src/state.rs",
+            "
+fn thread_one(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+}
+fn thread_two(s: &Shared) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+}
+",
+        )]);
+        let f = qd010(&files, &g);
+        assert_eq!(f.len(), 1, "one finding per inverted pair: {f:?}");
+        assert_eq!(f[0].rule, "QD010");
+        assert!(f[0].message.contains("lock-order inversion"), "{}", f[0].message);
+        // Both acquisition sites must be named.
+        assert!(f[0].message.contains("crates/core/src/state.rs:8"), "{}", f[0].message);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn qd010_bad_inversion_through_a_call_is_caught() {
+        let (files, g) = interproc(&[(
+            "crates/core/src/state.rs",
+            "
+fn one(s: &Shared) {
+    let a = s.alpha.lock();
+    grab_beta(s);
+}
+fn grab_beta(s: &Shared) { let b = s.beta.lock(); }
+fn two(s: &Shared) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+}
+",
+        )]);
+        let f = qd010(&files, &g);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("via call to `grab_beta`")
+                || f[0].message.contains("crates/core/src/state.rs:4"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn qd010_good_consistent_global_order_is_clean() {
+        let (files, g) = interproc(&[(
+            "crates/core/src/state.rs",
+            "
+fn one(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+}
+fn two(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+}
+",
+        )]);
+        assert!(qd010(&files, &g).is_empty(), "{:?}", qd010(&files, &g));
+    }
+
+    // ---- QD011 (interprocedural) ----
+
+    #[test]
+    fn qd011_bad_direct_blocking_while_holding_guard() {
+        let (files, g) = interproc(&[(
+            "crates/core/src/state.rs",
+            "
+fn f(s: &Shared, rx: &Receiver<u8>) {
+    let g = s.state.lock();
+    let _ = rx.recv_timeout(d);
+}
+",
+        )]);
+        let f = qd011(&files, &g);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`recv_timeout()`"), "{}", f[0].message);
+        assert!(f[0].message.contains("`state`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn qd011_bad_blocking_reached_through_call_chain() {
+        let (files, g) = interproc(&[(
+            "crates/core/src/state.rs",
+            "
+fn f(s: &Shared) {
+    let g = s.state.lock();
+    drain(s);
+}
+fn drain(s: &Shared) { s.rx.recv_timeout(d); }
+",
+        )]);
+        let f = qd011(&files, &g);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("call to `drain`"), "{}", f[0].message);
+        assert!(f[0].message.contains("recv_timeout"), "{}", f[0].message);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn qd011_good_guard_dropped_before_blocking() {
+        let (files, g) = interproc(&[(
+            "crates/core/src/state.rs",
+            "
+fn f(s: &Shared, rx: &Receiver<u8>) {
+    let g = s.state.lock();
+    drop(g);
+    let _ = rx.recv_timeout(d);
+}
+fn scoped(s: &Shared, rx: &Receiver<u8>) {
+    {
+        let g = s.state.lock();
+    }
+    let _ = rx.recv_timeout(d);
+}
+",
+        )]);
+        assert!(qd011(&files, &g).is_empty(), "{:?}", qd011(&files, &g));
+    }
+
+    // ---- catalog/rules drift ----
+
+    #[test]
+    fn implemented_ids_match_catalog_exactly() {
+        let catalog_ids: Vec<&str> = crate::catalog::RULES.iter().map(|r| r.id).collect();
+        assert_eq!(IMPLEMENTED_IDS, catalog_ids.as_slice());
     }
 }

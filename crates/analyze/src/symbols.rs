@@ -1,0 +1,682 @@
+//! Symbol extraction: turns a scanned [`SourceFile`] token stream into
+//! function definitions with the facts the interprocedural rules need.
+//!
+//! For every `fn` (free function or `impl` method) this records:
+//!
+//! * identity — name, owning `impl` type (if any), file, line, and
+//!   whether the definition sits in test code;
+//! * **call sites** — `callee(…)`, `recv.method(…)`, `Type::assoc(…)`,
+//!   each with the set of lock guards held at the call;
+//! * **panic sites** — `panic!`/`unreachable!`/`todo!`/`unimplemented!`
+//!   and `.unwrap()`/`.expect()`;
+//! * **blocking sites** — `.wait(…)`, `.wait_for(…)`, `.wait_timeout(…)`,
+//!   `recv(…)`, `recv_timeout(…)`, `sleep(…)`, `join(…)`, with held
+//!   guards;
+//! * **lock acquisitions** — `.lock()`/`.read()`/`.write()` with the
+//!   receiver's last path segment as the lock's name and the set of
+//!   guards already held (the raw material of the lock-order graph).
+//!
+//! Guard lifetimes follow the same heuristic model as QD005: a
+//! `let g = x.lock()` binding lives until its enclosing block closes (or
+//! an explicit `drop(g)`), while a temporary (`x.lock().push(v)`) dies at
+//! the end of its statement. Brace depths come from the lexer, which
+//! guarantees matched pairs.
+
+use crate::lexer::{SourceFile, Tok, TokKind};
+
+/// The panic-family macro names (invoked with `!`).
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// The panic-family methods (invoked as `.name(`).
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Blocking primitives tracked for QD011: methods or path calls that can
+/// park the calling thread. The `_timeout`/`_for` condvar variants are
+/// included — bounded or not, sleeping while holding a lock guard stalls
+/// every other acquirer for the duration.
+pub const BLOCKING_CALLS: &[&str] =
+    &["wait", "wait_for", "wait_timeout", "recv", "recv_timeout", "sleep", "join"];
+
+/// Keywords that can precede `(` without being a call.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "in", "let",
+    "mut", "ref", "move", "as", "use", "pub", "fn", "impl", "struct", "enum", "trait", "type",
+    "where", "unsafe", "dyn", "static", "const", "crate", "super", "mod", "extern", "Some",
+    "Ok", "Err", "None", "self", "Self",
+];
+
+/// One extracted function definition.
+#[derive(Clone, Debug)]
+pub struct FnSym {
+    /// Function name (raw identifiers keep their `r#` prefix).
+    pub name: String,
+    /// The `impl` type this method belongs to, `None` for free functions.
+    pub owner: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Defined inside test code (`#[cfg(test)]` body or `tests/` file).
+    pub is_test: bool,
+    /// Calls made in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Direct panic-family sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Direct blocking-primitive sites in the body.
+    pub blocks: Vec<BlockSite>,
+    /// Direct lock acquisitions in the body.
+    pub acquires: Vec<LockAcquire>,
+}
+
+/// One call expression inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// `Type::name(…)` qualifier, if the call was path-qualified.
+    pub qualifier: Option<String>,
+    /// Whether the call was a method call (`recv.name(…)`).
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+    /// Names of lock guards held at the call site.
+    pub held: Vec<String>,
+}
+
+/// One direct panic-family site.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// What panics: `panic!`, `unwrap`, …
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One direct blocking-primitive site.
+#[derive(Clone, Debug)]
+pub struct BlockSite {
+    /// The blocking call name: `wait`, `recv`, `sleep`, …
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Names of lock guards held at the site.
+    pub held: Vec<String>,
+}
+
+/// One lock acquisition (`.lock()`, `.read()`, `.write()`).
+#[derive(Clone, Debug)]
+pub struct LockAcquire {
+    /// The lock's name: the receiver's last path segment
+    /// (`self.shared.queue.lock()` → `queue`).
+    pub lock: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Names of locks whose guards are already held here.
+    pub held: Vec<String>,
+}
+
+/// A live lock guard during body scanning.
+struct Guard {
+    /// The `let` binding name (`None` for temporaries).
+    binding: Option<String>,
+    /// The lock's name (receiver segment).
+    lock: String,
+    /// Brace depth at the acquisition.
+    depth: u32,
+    /// Dies at end of statement rather than end of scope.
+    temp: bool,
+}
+
+/// Extracts every function definition from a scanned file.
+pub fn extract(sf: &SourceFile) -> Vec<FnSym> {
+    let toks = &sf.toks;
+    // `.read()`/`.write()` only count as lock acquisitions when the file
+    // mentions RwLock at all, mirroring QD005 (io traits stay invisible).
+    let has_rwlock = toks.iter().any(|t| t.text == "RwLock");
+    let mut out = Vec::new();
+    // Stack of enclosing `impl` blocks: (owner type, depth of its `{`).
+    let mut impls: Vec<(String, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && t.text == "impl" {
+            if let Some((owner, open_idx)) = parse_impl_header(toks, i) {
+                impls.push((owner, toks[open_idx].depth));
+                i = open_idx + 1;
+                continue;
+            }
+        } else if t.kind == TokKind::Punct && t.text == "}" {
+            while impls.last().is_some_and(|(_, d)| *d >= t.depth) {
+                impls.pop();
+            }
+        } else if t.kind == TokKind::Ident && t.text == "fn" {
+            let owner = impls.last().map(|(o, _)| o.clone());
+            if let Some(after) = parse_fn(sf, toks, i, owner, has_rwlock, &mut out) {
+                i = after;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses an `impl` header starting at the `impl` token; returns the
+/// owner type name and the index of the opening `{`.
+///
+/// `impl Foo { … }` → `Foo`; `impl Trait for Foo { … }` → `Foo`;
+/// generics and `where` clauses are skipped.
+fn parse_impl_header(toks: &[Tok], start: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut first_type: Option<String> = None;
+    let mut for_type: Option<String> = None;
+    let mut after_for = false;
+    let mut in_where = false;
+    let mut j = start + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") if angle <= 0 => {
+                let owner = for_type.or(first_type)?;
+                return Some((owner, j));
+            }
+            (TokKind::Punct, ";") if angle <= 0 => return None,
+            (TokKind::Punct, "<") => angle += 1,
+            (TokKind::Punct, ">") => angle -= 1,
+            (TokKind::Punct, "->") => {} // fn-pointer types in generics
+            (TokKind::Ident, "for") if angle <= 0 => after_for = true,
+            (TokKind::Ident, "where") if angle <= 0 => in_where = true,
+            (TokKind::Ident, name) if angle <= 0 && !in_where => {
+                if after_for {
+                    // First segment after `for`; keep overwriting so
+                    // `for crate::x::Foo` ends at `Foo`.
+                    for_type = Some(name.to_string());
+                } else if first_type.is_none() || toks.get(j.wrapping_sub(1)).is_some_and(|p| p.text == "::") {
+                    first_type = Some(name.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses one `fn` definition starting at its `fn` token, pushing the
+/// symbol (and any nested `fn` symbols, recursively) into `out`.
+/// Returns the token index just past the body's closing `}`; `None` for
+/// a body-less trait method, in which case no symbol is emitted.
+fn parse_fn(
+    sf: &SourceFile,
+    toks: &[Tok],
+    fn_idx: usize,
+    owner: Option<String>,
+    has_rwlock: bool,
+    out: &mut Vec<FnSym>,
+) -> Option<usize> {
+    let name_tok = toks.get(fn_idx + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Find the body `{` (skipping the signature) or a `;` ending a
+    // body-less declaration. Parens/brackets/angles in the signature
+    // don't affect brace depth.
+    let mut j = fn_idx + 2;
+    let mut body_open: Option<usize> = None;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" => {
+                body_open = Some(j);
+                break;
+            }
+            ";" => return None,
+            _ => j += 1,
+        }
+    }
+    let open = body_open?;
+    let open_depth = toks[open].depth;
+    let mut sym = FnSym {
+        name: name_tok.text.clone(),
+        owner,
+        file: sf.path.clone(),
+        line: toks[fn_idx].line,
+        is_test: toks[fn_idx].in_test,
+        calls: Vec::new(),
+        panics: Vec::new(),
+        blocks: Vec::new(),
+        acquires: Vec::new(),
+    };
+
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut stmt_has_let = false;
+    let mut let_binding: Option<String> = None;
+    let mut i = open + 1;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.text == "}" && t.kind == TokKind::Punct && t.depth == open_depth {
+            out.push(sym);
+            return Some(i + 1);
+        }
+        match (t.kind, t.text.as_str()) {
+            // Nested fn: parsed as its own symbol — its body is not part
+            // of this function.
+            (TokKind::Ident, "fn") => {
+                match parse_fn(sf, toks, i, None, has_rwlock, out) {
+                    Some(after) => {
+                        i = after;
+                        continue;
+                    }
+                    None => {
+                        // Body-less or malformed: skip past its `;`.
+                        let mut k = i + 1;
+                        while k < toks.len() && toks[k].text != ";" && toks[k].text != "{" {
+                            k += 1;
+                        }
+                        i = k;
+                    }
+                }
+            }
+            (TokKind::Ident, "let") => {
+                stmt_has_let = true;
+                let_binding = None;
+                // Binding name: first ident after `let` (skipping `mut`).
+                let mut k = i + 1;
+                while k < toks.len() && toks[k].text == "mut" {
+                    k += 1;
+                }
+                if toks.get(k).is_some_and(|n| n.kind == TokKind::Ident) {
+                    let_binding = Some(toks[k].text.clone());
+                }
+            }
+            (TokKind::Punct, ";") => {
+                guards.retain(|g| !(g.temp && t.depth <= g.depth));
+                stmt_has_let = false;
+                let_binding = None;
+            }
+            (TokKind::Punct, "{") => {
+                stmt_has_let = false;
+                let_binding = None;
+            }
+            (TokKind::Punct, "}") => {
+                guards.retain(|g| g.depth <= t.depth);
+                stmt_has_let = false;
+                let_binding = None;
+            }
+            (TokKind::Ident, "drop") if toks.get(i + 1).is_some_and(|n| n.text == "(") => {
+                // `drop(g)`: release the named guard (or the most recent
+                // one when the argument isn't a plain binding).
+                let arg = toks.get(i + 2).filter(|a| a.kind == TokKind::Ident);
+                match arg {
+                    Some(a) => {
+                        if let Some(p) =
+                            guards.iter().rposition(|g| g.binding.as_deref() == Some(&a.text))
+                        {
+                            guards.remove(p);
+                        }
+                    }
+                    None => {
+                        guards.pop();
+                    }
+                }
+                i += 1; // past `(` so it isn't also a call site
+            }
+            (TokKind::Ident, m @ ("lock" | "read" | "write"))
+                if i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && (m == "lock" || has_rwlock) =>
+            {
+                let lock = receiver_name(toks, i).unwrap_or_else(|| "<unknown>".to_string());
+                let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                sym.acquires.push(LockAcquire { lock: lock.clone(), line: t.line, held });
+                // `let fault = m.lock().unwrap().remove(k);` binds the
+                // result of `remove`, not the guard: when the method
+                // chain continues past the acquisition (through the
+                // unwrap/expect adapters), the guard is a temporary
+                // dying at the `;` even inside a `let` statement.
+                let consumed = chain_continues(toks, i + 1);
+                guards.push(Guard {
+                    binding: if stmt_has_let && !consumed { let_binding.clone() } else { None },
+                    lock,
+                    depth: t.depth,
+                    temp: !stmt_has_let || consumed,
+                });
+                i += 1; // past `(`
+            }
+            (TokKind::Ident, name) => {
+                let next_is_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
+                let prev = if i > 0 { toks[i - 1].text.as_str() } else { "" };
+                if PANIC_MACROS.contains(&name) && next_is_bang {
+                    sym.panics.push(PanicSite { what: format!("{name}!"), line: t.line });
+                } else if next_is_bang {
+                    // Some other macro: not a call edge.
+                } else if toks.get(i + 1).is_some_and(|n| n.text == "(") {
+                    let is_method = prev == ".";
+                    let qualifier = if prev == "::" {
+                        toks.get(i.wrapping_sub(2))
+                            .filter(|q| q.kind == TokKind::Ident)
+                            .map(|q| q.text.clone())
+                    } else {
+                        None
+                    };
+                    let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                    if PANIC_METHODS.contains(&name) && is_method {
+                        sym.panics.push(PanicSite { what: name.to_string(), line: t.line });
+                    } else if BLOCKING_CALLS.contains(&name) && (is_method || prev == "::") {
+                        sym.blocks.push(BlockSite { what: name.to_string(), line: t.line, held });
+                    } else if !CALL_KEYWORDS.contains(&name) {
+                        sym.calls.push(CallSite {
+                            name: name.to_string(),
+                            qualifier,
+                            method: is_method,
+                            line: t.line,
+                            held,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unbalanced body (should not happen: the lexer pairs depths).
+    out.push(sym);
+    Some(toks.len())
+}
+
+/// Does the method chain continue past the call whose `(` is at
+/// `open_idx`? Skips `.unwrap()` / `.expect(…)` adapters (with std
+/// mutexes those *return* the guard) and reports whether a further `.`
+/// follows — meaning the statement consumes the guard's result rather
+/// than binding the guard.
+fn chain_continues(toks: &[Tok], open_idx: usize) -> bool {
+    // Find the matching `)` of the acquisition's argument list.
+    let mut depth = 0i32;
+    let mut k = open_idx;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let mut k = k + 1; // past the `)`
+    loop {
+        // Skip `.unwrap(…)` / `.expect(…)` — they pass the guard through.
+        let adapter = toks.get(k).is_some_and(|d| d.text == ".")
+            && toks
+                .get(k + 1)
+                .is_some_and(|m| m.text == "unwrap" || m.text == "expect")
+            && toks.get(k + 2).is_some_and(|p| p.text == "(");
+        if !adapter {
+            break;
+        }
+        let mut depth = 0i32;
+        let mut j = k + 2;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        k = j + 1;
+    }
+    toks.get(k).is_some_and(|t| t.text == ".")
+}
+
+/// The receiver's last path segment for a `.lock()`-style call at token
+/// index `idx` (the `lock` ident): `self.shared.queue.lock()` → `queue`,
+/// `registry().lock()` → `registry`.
+fn receiver_name(toks: &[Tok], idx: usize) -> Option<String> {
+    // toks[idx-1] is `.`; look at what precedes it.
+    let before = idx.checked_sub(2)?;
+    let t = toks.get(before)?;
+    match t.kind {
+        TokKind::Ident => Some(t.text.clone()),
+        TokKind::Punct if t.text == ")" => {
+            // Walk back over the balanced paren group to the callee name.
+            let mut depth = 1i32;
+            let mut k = before;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                match toks[k].text.as_str() {
+                    ")" => depth += 1,
+                    "(" => depth -= 1,
+                    _ => {}
+                }
+            }
+            let callee = k.checked_sub(1)?;
+            let t = toks.get(callee)?;
+            (t.kind == TokKind::Ident).then(|| t.text.clone())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn syms(src: &str) -> Vec<FnSym> {
+        extract(&SourceFile::scan("crates/x/src/a.rs", src))
+    }
+
+    #[test]
+    fn free_fns_and_impl_methods_get_owners() {
+        let s = syms(
+            "
+fn free() {}
+impl Widget {
+    fn method(&self) {}
+}
+impl Clone for Widget {
+    fn clone(&self) -> Self { Widget }
+}
+impl<'a> Holder<'a> {
+    fn held(&self) {}
+}
+fn after() {}
+",
+        );
+        let names: Vec<(String, Option<String>)> =
+            s.iter().map(|f| (f.name.clone(), f.owner.clone())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("method".into(), Some("Widget".into())),
+                ("clone".into(), Some("Widget".into())),
+                ("held".into(), Some("Holder".into())),
+                ("after".into(), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn calls_panics_and_qualifiers_are_recorded() {
+        let s = syms(
+            r#"
+fn f(x: Option<u32>) {
+    helper(1);
+    obj.method(2);
+    Widget::assoc(3);
+    let v = x.unwrap();
+    if v == 0 { panic!("boom"); }
+    other_macro!(ignored);
+}
+"#,
+        );
+        assert_eq!(s.len(), 1);
+        let f = &s[0];
+        let calls: Vec<(&str, bool, Option<&str>)> =
+            f.calls.iter().map(|c| (c.name.as_str(), c.method, c.qualifier.as_deref())).collect();
+        assert_eq!(
+            calls,
+            vec![("helper", false, None), ("method", true, None), ("assoc", false, Some("Widget"))]
+        );
+        let panics: Vec<&str> = f.panics.iter().map(|p| p.what.as_str()).collect();
+        assert_eq!(panics, vec!["unwrap", "panic!"]);
+    }
+
+    #[test]
+    fn guard_regions_track_held_locks() {
+        let s = syms(
+            "
+fn f() {
+    let g = state.lock();
+    helper();
+    callee.recv_timeout(d);
+    drop(g);
+    other();
+}
+",
+        );
+        let f = &s[0];
+        assert_eq!(f.acquires.len(), 1);
+        assert_eq!(f.acquires[0].lock, "state");
+        assert!(f.acquires[0].held.is_empty());
+        assert_eq!(f.calls[0].name, "helper");
+        assert_eq!(f.calls[0].held, vec!["state".to_string()]);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].what, "recv_timeout");
+        assert_eq!(f.blocks[0].held, vec!["state".to_string()]);
+        // After drop(g) the guard is gone.
+        let other = f.calls.iter().find(|c| c.name == "other").unwrap();
+        assert!(other.held.is_empty());
+    }
+
+    #[test]
+    fn temp_guards_die_at_statement_end_and_scoped_guards_at_brace() {
+        let s = syms(
+            "
+fn f() {
+    results.lock().push(1);
+    first();
+    { let a = m1.lock(); inner(); }
+    outer();
+}
+",
+        );
+        let f = &s[0];
+        // push happens while the temp guard is live.
+        let push = f.calls.iter().find(|c| c.name == "push").unwrap();
+        assert_eq!(push.held, vec!["results".to_string()]);
+        let first = f.calls.iter().find(|c| c.name == "first").unwrap();
+        assert!(first.held.is_empty(), "temp guard must die at `;`");
+        let inner = f.calls.iter().find(|c| c.name == "inner").unwrap();
+        assert_eq!(inner.held, vec!["m1".to_string()]);
+        let outer = f.calls.iter().find(|c| c.name == "outer").unwrap();
+        assert!(outer.held.is_empty(), "scoped guard must die at `}}`");
+    }
+
+    #[test]
+    fn nested_acquisitions_record_held_sets() {
+        let s = syms(
+            "
+fn f() {
+    let a = alpha.lock();
+    let b = beta.lock();
+}
+",
+        );
+        let f = &s[0];
+        assert_eq!(f.acquires.len(), 2);
+        assert!(f.acquires[0].held.is_empty());
+        assert_eq!(f.acquires[1].lock, "beta");
+        assert_eq!(f.acquires[1].held, vec!["alpha".to_string()]);
+    }
+
+    #[test]
+    fn receiver_names_resolve_through_paths_and_calls() {
+        let s = syms(
+            "
+fn f() {
+    self.shared.queue.lock();
+    registry().lock();
+}
+",
+        );
+        let f = &s[0];
+        let locks: Vec<&str> = f.acquires.iter().map(|a| a.lock.as_str()).collect();
+        assert_eq!(locks, vec!["queue", "registry"]);
+    }
+
+    #[test]
+    fn read_write_need_rwlock_in_file() {
+        let without = syms("fn f(w: &mut W) { w.write(b\"x\"); }\n");
+        assert!(without[0].acquires.is_empty());
+        let with = syms("struct S { l: RwLock<u32> }\nfn f(s: &S) { s.l.write(); }\n");
+        assert_eq!(with[0].acquires.len(), 1);
+        assert_eq!(with[0].acquires[0].lock, "l");
+    }
+
+    #[test]
+    fn nested_fns_do_not_leak_into_the_outer_body() {
+        let s = syms(
+            "
+fn outer() {
+    fn inner() { x.unwrap(); }
+    clean();
+}
+",
+        );
+        assert_eq!(s.len(), 2);
+        let outer = s.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.panics.is_empty(), "inner's unwrap must not count for outer");
+        assert_eq!(outer.calls.len(), 1);
+        let inner = s.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(inner.panics.len(), 1);
+    }
+
+    #[test]
+    fn test_fns_are_flagged() {
+        let s = syms("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live() {}\n");
+        assert!(s.iter().find(|f| f.name == "t").unwrap().is_test);
+        assert!(!s.iter().find(|f| f.name == "live").unwrap().is_test);
+    }
+
+    #[test]
+    fn raw_identifier_fn_is_not_a_definition_keyword() {
+        // `r#fn` must not start a function definition; `fn r#try` defines
+        // a function literally named `r#try`.
+        let s = syms("fn r#try() { r#fn(); }\n");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "r#try");
+        assert_eq!(s[0].calls.len(), 1);
+        assert_eq!(s[0].calls[0].name, "r#fn");
+    }
+
+    #[test]
+    fn blocking_sites_require_invocation_position() {
+        let s = syms(
+            "
+fn wait(x: u32) -> u32 { x }
+fn f(rx: &Receiver<u8>) {
+    let _ = rx.recv();
+    std::thread::sleep(d);
+    let h = handle.join();
+}
+",
+        );
+        let f = s.iter().find(|f| f.name == "f").unwrap();
+        let what: Vec<&str> = f.blocks.iter().map(|b| b.what.as_str()).collect();
+        assert_eq!(what, vec!["recv", "sleep", "join"]);
+        // The definition of `wait` itself records nothing.
+        let w = s.iter().find(|f| f.name == "wait").unwrap();
+        assert!(w.blocks.is_empty());
+    }
+}

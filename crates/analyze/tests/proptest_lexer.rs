@@ -1,0 +1,95 @@
+//! Property tests for the analyzer's lexer: for any generated mix of
+//! nested block comments, line comments, string/raw-string literals and
+//! brace blocks,
+//!
+//! 1. brace depths are balanced — every `{`/`}` token pair carries the
+//!    same depth and the stream returns to depth 0, regardless of how
+//!    many unbalanced braces hide inside comments and strings; and
+//! 2. no rule-visible token originates inside a comment or a string
+//!    literal — marker identifiers planted only in those regions must
+//!    never surface in the token stream, while markers in live code
+//!    must surface exactly as many times as they were planted.
+//!
+//! Every lint rule consumes this token stream, so these two invariants
+//! are the foundation the whole engine stands on.
+
+use proptest::prelude::*;
+use qdgnn_analyze::lexer::SourceFile;
+
+/// Builds a syntactically valid source file from a choice sequence.
+/// Returns the source and how many `visible_marker` identifiers were
+/// planted in live (non-comment, non-string) code.
+fn build_source(choices: &[u8]) -> (String, usize) {
+    let mut src = String::from("fn generated() {\n");
+    let mut depth = 1usize;
+    let mut visible = 0usize;
+    for &c in choices {
+        match c {
+            0 => {
+                src.push_str("let visible_marker = 1;\n");
+                visible += 1;
+            }
+            1 => src.push_str("// hidden_marker { { \" unwrap( panic!\n"),
+            2 => src.push_str("/* hidden_marker /* nested { } */ still hidden \" } */\n"),
+            3 => src.push_str("let s = \"hidden_marker { } // /* \\\" \";\n"),
+            4 => src.push_str("let r = r#\"hidden_marker \" { } // /*\"#;\n"),
+            5 => {
+                src.push_str("if cond {\n");
+                depth += 1;
+            }
+            _ => {
+                if depth > 1 {
+                    src.push_str("}\n");
+                    depth -= 1;
+                }
+            }
+        }
+    }
+    while depth > 0 {
+        src.push_str("}\n");
+        depth -= 1;
+    }
+    (src, visible)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn brace_depths_balance_for_any_comment_string_nesting(
+        choices in proptest::collection::vec(0u8..7, 0..60),
+    ) {
+        let (src, _) = build_source(&choices);
+        let sf = SourceFile::scan("crates/x/src/generated.rs", &src);
+        // Replay the depth discipline: an open brace carries the depth
+        // *before* it increments; its matching close carries the same.
+        let mut depth = 0u32;
+        for t in &sf.toks {
+            match t.text.as_str() {
+                "{" => {
+                    prop_assert_eq!(t.depth, depth, "open at line {}", t.line);
+                    depth += 1;
+                }
+                "}" => {
+                    prop_assert!(depth > 0, "unmatched close at line {}", t.line);
+                    depth -= 1;
+                    prop_assert_eq!(t.depth, depth, "close at line {}", t.line);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(depth, 0, "stream must return to depth 0\n{src}");
+    }
+
+    #[test]
+    fn no_token_originates_inside_comment_or_string(
+        choices in proptest::collection::vec(0u8..7, 0..60),
+    ) {
+        let (src, visible) = build_source(&choices);
+        let sf = SourceFile::scan("crates/x/src/generated.rs", &src);
+        let hidden = sf.toks.iter().filter(|t| t.text.contains("hidden_marker")).count();
+        prop_assert_eq!(hidden, 0, "comment/string contents must not lex\n{src}");
+        let seen = sf.toks.iter().filter(|t| t.text == "visible_marker").count();
+        prop_assert_eq!(seen, visible, "live code must lex exactly once per plant\n{src}");
+    }
+}

@@ -47,11 +47,11 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use qdgnn_core::OnlineStage;
 use qdgnn_data::Query;
@@ -531,11 +531,10 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
                 // fake clock, `us` says "forever" until the test advances
                 // time, and the condvar wait must not believe it.
                 let tick = us.min(POLL_TICK_US);
-                let (guard, _timed_out) = shared
+                shared
                     .work_ready
-                    .wait_timeout(q, Duration::from_micros(tick))
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-                q = guard;
+                    // qdgnn-analyze: allow(QD011, reason = "condvar wait atomically releases the queue guard while blocked and reacquires it on wake")
+                    .wait_for(&mut q, Duration::from_micros(tick));
             }
         }
     }

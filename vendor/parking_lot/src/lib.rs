@@ -4,86 +4,302 @@
 //! `lock()` returns the guard directly (no `Result`), and poisoning is
 //! transparently ignored — a panicked critical section does not poison
 //! the lock for later users, matching parking_lot semantics.
+//!
+//! # The `lockcheck` feature
+//!
+//! With `--features lockcheck`, every `Mutex`/`RwLock` is lazily
+//! assigned a site id on first acquisition, each thread tracks its
+//! held-lock set in TLS, and a process-global acquired-after graph
+//! records every "lock B taken while holding lock A" edge together with
+//! both acquisition sites (`#[track_caller]` locations). The first
+//! acquisition that would close a cycle in that graph panics — *before*
+//! blocking on the inner lock — naming the current site and the site
+//! where the opposite order was established. A lock-order inversion is
+//! therefore detected deterministically on first occurrence, without
+//! needing the two threads to actually interleave into a deadlock.
+//! This is the runtime twin of the static QD010 rule in
+//! `qdgnn-analyze`; the serve concurrency suites run with it armed in
+//! CI (`cargo test -p qdgnn-serve --features chaos,sanitize,lockcheck`).
 
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
+use std::time::Duration;
+
+#[cfg(feature = "lockcheck")]
+use std::sync::atomic::AtomicU32;
+
+#[cfg(feature = "lockcheck")]
+pub mod lockcheck;
 
 /// A mutual-exclusion primitive with parking_lot's non-poisoning API.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    id: AtomicU32,
+    inner: std::sync::Mutex<T>,
+}
 
 /// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    id: u32,
+    /// `ManuallyDrop` so [`Condvar::wait_for`] can temporarily move the
+    /// std guard out (the wait consumes and returns it) and so the
+    /// lockcheck release hook can run after the actual unlock.
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Safety: `inner` is never used again; `wait_for` always
+        // restores it before returning.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_release(self.id);
+    }
+}
 
 impl<T> Mutex<T> {
     /// Creates a mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lockcheck")]
+            id: AtomicU32::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex and returns the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Never panics on
-    /// poisoning — the guard of a panicked holder is recovered.
+    /// poisoning — the guard of a panicked holder is recovered. Under
+    /// `lockcheck`, panics instead of blocking when this acquisition
+    /// would invert an established lock order.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lockcheck")]
+        let id = lockcheck::before_acquire(&self.id);
+        let inner =
+            ManuallyDrop::new(self.inner.lock().unwrap_or_else(PoisonError::into_inner));
+        MutexGuard {
+            #[cfg(feature = "lockcheck")]
+            id,
+            inner,
+        }
     }
 
-    /// Attempts to acquire the lock without blocking.
+    /// Attempts to acquire the lock without blocking. Under `lockcheck`
+    /// a successful try still records (and checks) the ordering edge:
+    /// try-locks cannot deadlock by themselves, but an inverted order
+    /// observed through one is the same latent bug.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lockcheck")]
+        let id = lockcheck::before_acquire(&self.id);
+        Some(MutexGuard {
+            #[cfg(feature = "lockcheck")]
+            id,
+            inner: ManuallyDrop::new(inner),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 /// A reader-writer lock with parking_lot's non-poisoning API.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    id: AtomicU32,
+    inner: std::sync::RwLock<T>,
+}
 
 /// Shared read guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    id: u32,
+    inner: ManuallyDrop<std::sync::RwLockReadGuard<'a, T>>,
+}
+
 /// Exclusive write guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    id: u32,
+    inner: ManuallyDrop<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_release(self.id);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_release(self.id);
+    }
+}
 
 impl<T> RwLock<T> {
     /// Creates a lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lockcheck")]
+            id: AtomicU32::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock and returns the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lockcheck")]
+        let id = lockcheck::before_acquire(&self.id);
+        RwLockReadGuard {
+            #[cfg(feature = "lockcheck")]
+            id,
+            inner: ManuallyDrop::new(
+                self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            ),
+        }
     }
 
     /// Acquires an exclusive write lock.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lockcheck")]
+        let id = lockcheck::before_acquire(&self.id);
+        RwLockWriteGuard {
+            #[cfg(feature = "lockcheck")]
+            id,
+            inner: ManuallyDrop::new(
+                self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            ),
+        }
+    }
+}
+
+/// Result of a bounded [`Condvar::wait_for`]: did the wait time out?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait returned because the timeout elapsed rather
+    /// than a notification.
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with this crate's [`MutexGuard`],
+/// mirroring parking_lot's `&mut guard` API: the wait atomically
+/// releases the mutex while blocked and reacquires it before returning,
+/// with the guard usable again afterwards.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Waits on this condition for at most `timeout`, releasing the
+    /// guard's mutex while blocked. Spurious wakeups are possible, as
+    /// with any condvar. Under `lockcheck` the lock stays in the
+    /// thread's held set across the wait: conservatively, an order
+    /// violation on reacquire is indistinguishable from one on a plain
+    /// `lock()`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        // Safety: the std guard is moved out only for the duration of
+        // the wait and unconditionally restored below; `wait_timeout`
+        // returns the guard even on poisoning.
+        let inner = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = ManuallyDrop::new(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn mutex_round_trip() {
@@ -94,8 +310,8 @@ mod tests {
 
     #[test]
     fn panicked_holder_does_not_poison() {
-        let m = std::sync::Arc::new(Mutex::new(0u32));
-        let m2 = std::sync::Arc::clone(&m);
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
         let _ = std::thread::spawn(move || {
             let _g = m2.lock();
             panic!("holder dies");
@@ -111,5 +327,47 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 7;
         assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(0u32);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_returns_guard_usable() {
+        let m = Mutex::new(7u32);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+        *g += 1;
+        drop(g);
+        assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn condvar_notification_crosses_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        let mut rounds = 0;
+        while !*done && rounds < 1000 {
+            cv.wait_for(&mut done, Duration::from_millis(10));
+            rounds += 1;
+        }
+        assert!(*done, "notification must arrive");
+        drop(done);
+        t.join().expect("notifier thread");
     }
 }

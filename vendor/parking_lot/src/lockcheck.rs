@@ -1,0 +1,250 @@
+//! Runtime lock-order checking (the `lockcheck` feature).
+//!
+//! Every lock is lazily assigned a small integer id on first
+//! acquisition. Each thread keeps its held-lock set in TLS; a global
+//! registry accumulates the *acquired-after* graph — an edge `A → B`
+//! means some thread acquired `B` while holding `A`, recorded with both
+//! `#[track_caller]` sites. Before an acquisition blocks, the would-be
+//! new edges are checked against the graph: if `B` already reaches `A`,
+//! the two orders form a cycle and the acquisition panics, naming the
+//! current site and the previously recorded opposite-order site. The
+//! check is ordering-based, not wait-for-based: an inversion is caught
+//! the first time either order executes, on a single thread, without
+//! the actual deadlock interleaving.
+//!
+//! The registry's own mutex is a leaf: no user lock is ever acquired
+//! while it is held, so the checker cannot deadlock the program it
+//! watches.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Id source; 0 is reserved for "not yet assigned".
+static NEXT_ID: AtomicU32 = AtomicU32::new(1);
+
+type Site = &'static Location<'static>;
+
+/// The global acquired-after graph.
+#[derive(Default)]
+struct Registry {
+    /// `(held, acquired)` → (site holding `held`, site acquiring
+    /// `acquired`): the first observation of each ordering edge.
+    edges: HashMap<(u32, u32), (Site, Site)>,
+    /// Adjacency of the edge relation, for reachability.
+    adj: HashMap<u32, Vec<u32>>,
+}
+
+impl Registry {
+    /// Is `to` reachable from `from` through recorded edges?
+    fn reaches(&self, from: u32, to: u32) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            for &next in self.adj.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+thread_local! {
+    /// Locks this thread currently holds, in acquisition order, with
+    /// the site of each acquisition.
+    static HELD: RefCell<Vec<(u32, Site)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns the lock's id, assigning one on first use.
+fn site_id(slot: &AtomicU32) -> u32 {
+    let id = slot.load(Ordering::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(raced) => raced,
+    }
+}
+
+/// Called by every `lock()`/`read()`/`write()`/`try_lock()` *before*
+/// blocking on the inner primitive: records the acquired-after edges
+/// from every currently-held lock, panicking on the first edge that
+/// closes a cycle. Returns the lock's id for the guard to release.
+#[track_caller]
+pub(crate) fn before_acquire(slot: &AtomicU32) -> u32 {
+    let id = site_id(slot);
+    let site: Site = Location::caller();
+    HELD.with(|held| {
+        let snapshot: Vec<(u32, Site)> = held.borrow().clone();
+        if !snapshot.is_empty() {
+            let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            for &(held_id, held_site) in &snapshot {
+                if held_id == id {
+                    // Reentrant same-lock acquisition (shared RwLock
+                    // reads): not an ordering edge.
+                    continue;
+                }
+                if reg.reaches(id, held_id) {
+                    let opposite = reg
+                        .edges
+                        .get(&(id, held_id))
+                        .map(|(h, a)| {
+                            format!(
+                                "the opposite order was established at {a} (lock #{held_id} acquired while holding lock #{id}, held since {h})"
+                            )
+                        })
+                        .unwrap_or_else(|| {
+                            format!(
+                                "lock #{id} already reaches lock #{held_id} through recorded intermediate acquisitions"
+                            )
+                        });
+                    panic!(
+                        "lockcheck: lock-order inversion: acquiring lock #{id} at {site} \
+                         while holding lock #{held_id} (acquired at {held_site}), but {opposite} \
+                         — two threads interleaving these orders deadlock"
+                    );
+                }
+                let reg = &mut *reg;
+                reg.edges.entry((held_id, id)).or_insert((held_site, site));
+                let out = reg.adj.entry(held_id).or_default();
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        held.borrow_mut().push((id, site));
+    });
+    id
+}
+
+/// Called by guard `Drop` after the inner unlock: removes the most
+/// recent entry for `id` from the thread's held set (most recent,
+/// because shared RwLock reads can nest the same id).
+pub(crate) fn on_release(id: u32) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(h, _)| h == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Mutex, RwLock};
+
+    // Lock ids and the acquired-after graph are process-global, so each
+    // test uses its own fresh locks; inversions seeded here cannot
+    // collide with other tests' edges.
+
+    #[test]
+    fn consistent_order_is_silent() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+    }
+
+    #[test]
+    fn seeded_inversion_panics_with_both_sites() {
+        let a = std::sync::Arc::new(Mutex::new(0u32));
+        let b = std::sync::Arc::new(Mutex::new(0u32));
+        // Thread 1 establishes a → b.
+        {
+            let (a, b) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .join()
+            .expect("establishing order a → b must succeed");
+        }
+        // Thread 2 attempts b → a: must panic deterministically, before
+        // any blocking, with both acquisition sites in the message.
+        let err = std::thread::spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })
+        .join()
+        .expect_err("inverted order must panic under lockcheck");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        assert!(
+            msg.contains("the opposite order was established at"),
+            "must carry the prior acquisition site: {msg}"
+        );
+        // Both sites are in this file.
+        assert!(msg.matches("lockcheck.rs").count() >= 2, "both sites named: {msg}");
+    }
+
+    #[test]
+    fn rwlock_participates_in_ordering() {
+        let a = std::sync::Arc::new(RwLock::new(0u32));
+        let b = std::sync::Arc::new(Mutex::new(0u32));
+        {
+            let (a, b) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _ga = a.read();
+                let _gb = b.lock();
+            })
+            .join()
+            .expect("establishing order must succeed");
+        }
+        let err = std::thread::spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.write();
+        })
+        .join()
+        .expect_err("rwlock inversion must panic");
+        drop(err);
+    }
+
+    #[test]
+    fn release_unwinds_held_set() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        // a then b, released, then b alone, then a alone: no inversion —
+        // the edge a → b exists but b is never taken while a is held in
+        // the other order.
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+        let gb = b.lock();
+        drop(gb);
+        let ga = a.lock();
+        drop(ga);
+    }
+
+    #[test]
+    fn reentrant_rwlock_reads_are_not_edges() {
+        let l = RwLock::new(0u32);
+        let g1 = l.read();
+        let g2 = l.read();
+        drop(g2);
+        drop(g1);
+    }
+}
