@@ -47,6 +47,7 @@ pub const RULES: &[Rule] = &[
             "crates/core/src/inputs.rs",
             "crates/core/src/identify.rs",
             "crates/core/src/models/",
+            "crates/serve/src/",
         ],
         suppressible: true,
     },
@@ -204,6 +205,21 @@ pub const RULES: &[Rule] = &[
                     a suppression kept deliberately (e.g. feature-gated \
                     code) — suppress this rule with a reason.",
         enforced_paths: &[],
+        suppressible: true,
+    },
+    Rule {
+        id: "QD013",
+        summary: "every metric-name literal must appear in the checked-in \
+                  metric catalog",
+        rationale: "Dashboards, alerts and the telemetry endpoint key on \
+                    metric names; a name passed to counter/gauge/observe/\
+                    event/trace/op_timer/span! (or a _with variant) that is \
+                    missing from METRIC_NAMES in crates/obs/src/names.rs — \
+                    and its human table crates/obs/METRICS.md — drifts out \
+                    of every dashboard silently. Labeled series are \
+                    catalogued by base name. Test code is exempt, and \
+                    dynamically-built names are not statically checkable.",
+        enforced_paths: &["crates/"],
         suppressible: true,
     },
 ];

@@ -3,7 +3,7 @@
 //!
 //! A from-scratch, dependency-free lint engine: [`lexer`] scans Rust
 //! sources (comment/string-aware, brace-tracking, `#[cfg(test)]`
-//! detection), [`rules`] implements the QD001–QD008 checks, and
+//! detection), [`rules`] implements the QD001–QD013 checks, and
 //! [`catalog`] describes them machine-readably. This module wires the
 //! pieces together: filesystem walking, suppression handling, and
 //! deterministic ordering of findings.
@@ -81,6 +81,10 @@ pub fn analyze_sources(files: &[SourceFile]) -> Vec<Finding> {
     if let Some(t) = tape {
         raw.extend(rules::qd003(t, props));
     }
+
+    // QD013 is cross-file too: metric-name literals vs. the checked-in
+    // catalog in crates/obs/src/names.rs.
+    raw.extend(rules::qd013(files));
 
     // The interprocedural rules run on the whole-workspace call graph.
     let graph = callgraph::CallGraph::build(files);

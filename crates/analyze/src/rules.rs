@@ -1,4 +1,4 @@
-//! The lint rules (QD001–QD008).
+//! The lint rules (QD001–QD013).
 //!
 //! Each rule is a pure function from scanned [`SourceFile`]s to
 //! [`Finding`]s; suppression handling and ordering live in
@@ -42,6 +42,8 @@ const QD001_SERVING: &[&str] = &[
     "crates/serve/src/batcher.rs",
     "crates/serve/src/config.rs",
     "crates/serve/src/error.rs",
+    "crates/serve/src/trace.rs",
+    "crates/serve/src/http.rs",
 ];
 
 /// Keywords that may legitimately precede `[` without it being an
@@ -542,6 +544,148 @@ pub fn qd008(sf: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// Recorder functions whose first string-literal argument is a metric
+/// name subject to the QD013 catalog (`span` is the macro form).
+const QD013_RECORDERS: &[&str] = &[
+    "counter", "counter_with", "event", "gauge", "observe", "observe_with", "op_timer", "span",
+    "trace",
+];
+
+/// All string literals on one source line, in order. The lexer drops
+/// literal contents, so QD013 re-reads them from the raw line; escape
+/// pairs are kept verbatim (metric names contain none).
+fn string_literals(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur: Option<String> = None;
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match (&mut cur, c) {
+            (Some(s), '"') => {
+                out.push(std::mem::take(s));
+                cur = None;
+            }
+            (Some(s), '\\') => {
+                s.push('\\');
+                if let Some(e) = chars.next() {
+                    s.push(e);
+                }
+            }
+            (Some(s), c) => s.push(c),
+            (None, '"') => cur = Some(String::new()),
+            (None, _) => {}
+        }
+    }
+    out
+}
+
+/// The `METRIC_NAMES` literals from `crates/obs/src/names.rs`: every
+/// string between the table opener and its closing `];`.
+fn qd013_catalog(nf: &SourceFile) -> std::collections::BTreeSet<String> {
+    let mut allowed = std::collections::BTreeSet::new();
+    let mut in_table = false;
+    for l in &nf.src_lines {
+        if !in_table {
+            in_table = l.contains("METRIC_NAMES");
+            continue;
+        }
+        if l.trim_start().starts_with("];") {
+            break;
+        }
+        allowed.extend(string_literals(l));
+    }
+    allowed
+}
+
+/// QD013: every metric-name literal handed to a recorder
+/// (`counter`/`gauge`/`observe`/`event`/`trace`/`op_timer`/`span!` and
+/// the `_with` variants) must appear in the checked-in catalog
+/// (`crates/obs/src/names.rs`). Cross-file: needs the catalog source,
+/// so it runs from [`crate::analyze_sources`], not [`check_file`].
+/// Method calls (`snap.counter(…)` lookups), test code, files outside
+/// `src/`, and dynamically-built names are out of scope.
+pub fn qd013(files: &[SourceFile]) -> Vec<Finding> {
+    let names = files.iter().find(|f| f.path.ends_with("crates/obs/src/names.rs"));
+    // (site, recorder, extracted name) for every literal-named record call.
+    let mut sites: Vec<(Finding, String)> = Vec::new();
+    for sf in files {
+        if !sf.path.contains("/src/") || sf.path.ends_with("crates/obs/src/names.rs") {
+            continue;
+        }
+        let toks = &sf.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.in_test
+                || t.kind != TokKind::Ident
+                || !QD013_RECORDERS.contains(&t.text.as_str())
+            {
+                continue;
+            }
+            if i > 0 && toks[i - 1].text == "." {
+                continue; // method call (e.g. snapshot lookups), not a recorder
+            }
+            // `span` is the macro form `span!(…)`; the rest are calls.
+            let open = if t.text == "span" {
+                if toks.get(i + 1).is_none_or(|n| n.text != "!") {
+                    continue;
+                }
+                i + 2
+            } else {
+                i + 1
+            };
+            if toks.get(open).is_none_or(|o| o.text != "(") {
+                continue;
+            }
+            let Some(arg) = toks.get(open + 1) else { continue };
+            if arg.kind != TokKind::Str {
+                continue; // dynamically-built name: not statically checkable
+            }
+            // The lexer drops literal contents; recover the name from the
+            // raw source line by position among that line's literals.
+            let nth = toks[..=open + 1]
+                .iter()
+                .filter(|x| x.kind == TokKind::Str && x.line == arg.line)
+                .count()
+                .saturating_sub(1);
+            let Some(name) = sf
+                .src_lines
+                .get(arg.line as usize - 1)
+                .map(|l| string_literals(l))
+                .and_then(|ls| ls.get(nth).cloned())
+            else {
+                continue;
+            };
+            let f = finding(
+                "QD013",
+                sf,
+                t.line,
+                format!(
+                    "metric name \"{name}\" recorded by `{}` is not in the catalog — add it to METRIC_NAMES in crates/obs/src/names.rs and to crates/obs/METRICS.md",
+                    t.text
+                ),
+            );
+            sites.push((f, name));
+        }
+    }
+    let Some(nf) = names else {
+        // No catalog at all: one finding, but only when there is
+        // actually a recorded name it would have to vouch for.
+        if sites.is_empty() {
+            return Vec::new();
+        }
+        return vec![Finding {
+            rule: "QD013",
+            path: "crates/obs/src/names.rs".into(),
+            line: 1,
+            message: "metric-name catalog missing: crates/obs/src/names.rs must define \
+                      METRIC_NAMES so recorded names can be checked"
+                .into(),
+            snippet: String::new(),
+        }];
+    };
+    let allowed = qd013_catalog(nf);
+    sites.into_iter().filter(|(_, name)| !allowed.contains(name)).map(|(f, _)| f).collect()
+}
+
 /// Runs every per-file rule on one source file.
 pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
     let mut out = qd001(sf);
@@ -562,7 +706,7 @@ pub fn check_file(sf: &SourceFile) -> Vec<Finding> {
 /// rule; QD009–QD011 are the interprocedural rules below.
 pub const IMPLEMENTED_IDS: &[&str] = &[
     "QD000", "QD001", "QD002", "QD003", "QD004", "QD005", "QD006", "QD007",
-    "QD008", "QD009", "QD010", "QD011", "QD012",
+    "QD008", "QD009", "QD010", "QD011", "QD012", "QD013",
 ];
 
 /// Crates whose panic sites are in scope for QD009. Panics in
@@ -1312,5 +1456,62 @@ fn scoped(s: &Shared, rx: &Receiver<u8>) {
     fn implemented_ids_match_catalog_exactly() {
         let catalog_ids: Vec<&str> = crate::catalog::RULES.iter().map(|r| r.id).collect();
         assert_eq!(IMPLEMENTED_IDS, catalog_ids.as_slice());
+    }
+
+    fn qd013_names_file() -> SourceFile {
+        SourceFile::scan(
+            "crates/obs/src/names.rs",
+            "pub const METRIC_NAMES: &[&str] = &[\n    \"serve.good\",\n];\n",
+        )
+    }
+
+    #[test]
+    fn qd013_flags_uncatalogued_names_and_accepts_catalogued_ones() {
+        let bad = SourceFile::scan(
+            "crates/serve/src/engine.rs",
+            "fn f() { qdgnn_obs::counter(\"serve.evil\").inc(); let _s = qdgnn_obs::span!(\"serve.good\"); }\n",
+        );
+        let f = qd013(&[qd013_names_file(), bad]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "QD013");
+        assert!(f[0].message.contains("serve.evil"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn qd013_extracts_the_right_literal_when_several_share_a_line() {
+        let bad = SourceFile::scan(
+            "crates/serve/src/engine.rs",
+            "fn f() { qdgnn_obs::counter_with(\"serve.bad\", &[(\"tenant\", \"acme\")]).inc(); }\n",
+        );
+        let f = qd013(&[qd013_names_file(), bad]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("\"serve.bad\""),
+            "must name the metric literal, not a label: {}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn qd013_skips_method_calls_tests_and_dynamic_names() {
+        let ok = SourceFile::scan(
+            "crates/serve/src/engine.rs",
+            "fn f(snap: &S, n: &str) {\n    snap.counter(\"not.a.recorder\");\n    qdgnn_obs::counter(n).inc();\n}\n#[cfg(test)]\nmod tests {\n    fn g() { qdgnn_obs::counter(\"t.test.only\").inc(); }\n}\n",
+        );
+        let f = qd013(&[qd013_names_file(), ok]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn qd013_reports_a_missing_catalog_file_only_when_names_are_recorded() {
+        let quiet = SourceFile::scan("crates/serve/src/engine.rs", "fn f() {}\n");
+        assert!(qd013(&[quiet]).is_empty(), "nothing recorded, nothing to vouch for");
+        let loud = SourceFile::scan(
+            "crates/serve/src/engine.rs",
+            "fn f() { qdgnn_obs::counter(\"serve.x\").inc(); }\n",
+        );
+        let f = qd013(&[loud]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("names.rs"), "{}", f[0].message);
     }
 }

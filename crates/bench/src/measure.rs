@@ -340,6 +340,9 @@ pub fn measure_overload(measure_rounds: usize, log: &mut EventLog) -> Vec<Overlo
                 offered,
                 accepted,
                 shed,
+                shed_admission: engine_stats.shed_admission,
+                shed_deadline: engine_stats.shed_deadline,
+                worker_panics: engine_stats.worker_panics,
                 p99_accepted_us,
                 shed_rate,
             }

@@ -87,6 +87,16 @@ pub struct OverloadStats {
     /// Requests shed with `DeadlineExceeded` (admission tier + dequeue
     /// tier) or rejected by queue backpressure.
     pub shed: u64,
+    /// Engine-side admission-tier sheds (`EngineStats::shed_admission`);
+    /// the tier breakdown must agree with the per-outcome labeled
+    /// metrics the engine exports.
+    pub shed_admission: u64,
+    /// Engine-side dequeue-tier sheds (`EngineStats::shed_deadline`).
+    pub shed_deadline: u64,
+    /// Worker panics absorbed during the scenario
+    /// (`EngineStats::worker_panics`) — expected 0; a nonzero count
+    /// means accepted/shed arithmetic excludes panicked requests.
+    pub worker_panics: u64,
     /// 99th-percentile latency of accepted requests, microseconds.
     pub p99_accepted_us: f64,
     /// `shed / offered` — fraction of offered load turned away.
@@ -168,6 +178,9 @@ fn overload_from(v: &Value) -> Result<OverloadStats, String> {
         offered: req_num(o, "offered")? as u64,
         accepted: req_num(o, "accepted")? as u64,
         shed: req_num(o, "shed")? as u64,
+        shed_admission: req_num(o, "shed_admission")? as u64,
+        shed_deadline: req_num(o, "shed_deadline")? as u64,
+        worker_panics: req_num(o, "worker_panics")? as u64,
         p99_accepted_us: req_num(o, "p99_accepted_us")?,
         shed_rate: req_num(o, "shed_rate")?,
     })
@@ -219,12 +232,15 @@ impl ServeReport {
         let o = &self.overload;
         let _ = writeln!(
             body,
-            "  \"overload\": {{\"dataset\":{},\"deadline_us\":{},\"offered\":{},\"accepted\":{},\"shed\":{},\"p99_accepted_us\":{},\"shed_rate\":{}}}",
+            "  \"overload\": {{\"dataset\":{},\"deadline_us\":{},\"offered\":{},\"accepted\":{},\"shed\":{},\"shed_admission\":{},\"shed_deadline\":{},\"worker_panics\":{},\"p99_accepted_us\":{},\"shed_rate\":{}}}",
             json::escape(&o.dataset),
             o.deadline_us,
             o.offered,
             o.accepted,
             o.shed,
+            o.shed_admission,
+            o.shed_deadline,
+            o.worker_panics,
             json::num(o.p99_accepted_us),
             json::num(o.shed_rate),
         );
@@ -336,6 +352,9 @@ mod tests {
                 offered: 256,
                 accepted: 131,
                 shed: 125,
+                shed_admission: 88,
+                shed_deadline: 37,
+                worker_panics: 0,
                 p99_accepted_us: 9500.0,
                 shed_rate: 0.488,
             },
@@ -362,8 +381,22 @@ mod tests {
         assert_eq!(back.overload.offered, 256);
         assert_eq!(back.overload.accepted, 131);
         assert_eq!(back.overload.shed, 125);
+        assert_eq!(back.overload.shed_admission, 88);
+        assert_eq!(back.overload.shed_deadline, 37);
+        assert_eq!(back.overload.worker_panics, 0);
         assert!((back.overload.p99_accepted_us - 9500.0).abs() < 1e-9);
         assert!((back.overload.shed_rate - 0.488).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_parser_requires_the_shed_tier_breakdown() {
+        // A baseline predating the per-outcome telemetry must be
+        // regenerated, not silently accepted with a zeroed breakdown.
+        let text = sample_serve().to_json();
+        for field in ["\"shed_admission\":88,", "\"shed_deadline\":37,", "\"worker_panics\":0,"] {
+            assert!(text.contains(field), "sanity: {field} emitted");
+            assert!(ServeReport::from_json(&text.replace(field, "")).is_err());
+        }
     }
 
     #[test]

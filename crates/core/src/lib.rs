@@ -37,5 +37,5 @@ pub use error::QdgnnError;
 pub use identify::{identify_community, try_identify_community};
 pub use inputs::{GraphTensors, QueryBatch, QueryVectors};
 pub use models::{AqdGnn, CsModel, ForwardResult, GraphCache, QdGnn, SimpleQdGnn};
-pub use serve::OnlineStage;
+pub use serve::{BatchTiming, OnlineStage};
 pub use train::{TrainConfig, TrainReport, TrainedModel, Trainer};

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use qdgnn_data::Query;
 use qdgnn_graph::{CommunityMetrics, VertexId};
+use qdgnn_obs::clock::{Clock, MonotonicClock};
 
 use crate::error::QdgnnError;
 use crate::identify::identify_community;
@@ -21,6 +22,22 @@ use crate::inputs::{GraphTensors, QueryBatch, QueryVectors};
 use crate::models::{
     predict_scores, predict_scores_batch, predict_scores_cached, CsModel, GraphCache,
 };
+
+/// Exact per-phase timings for one [`OnlineStage::try_query_batch_timed`]
+/// call, measured against the caller-supplied [`Clock`] so the serving
+/// engine can attribute batch cost back to individual requests (and
+/// fake-clock tests can pin the attribution exactly). Unlike the span
+/// instrumentation, these timings are recorded in every build.
+pub struct BatchTiming {
+    /// Microseconds the whole stacked forward pass took: validation,
+    /// query encoding, stacking and batched scoring for every query in
+    /// the batch.
+    pub forward_us: u64,
+    /// Per-query microseconds spent in community identification
+    /// (constrained BFS plus extraction), in input order. Zero for
+    /// queries whose forward pass failed.
+    pub bfs_us: Vec<u64>,
+}
 
 /// Model handle held by an [`OnlineStage`]: borrowed from the caller or
 /// shared via [`Arc`] (so the stage can be `'static` for worker threads).
@@ -234,13 +251,35 @@ impl<'a> OnlineStage<'a> {
     /// Per-query error isolation and input-order results, like
     /// [`OnlineStage::try_scores_batch`].
     pub fn try_query_batch(&self, queries: &[Query]) -> Vec<Result<Vec<VertexId>, QdgnnError>> {
+        self.try_query_batch_timed(queries, &MonotonicClock::new()).0
+    }
+
+    /// [`OnlineStage::try_query_batch`] plus an exact phase breakdown:
+    /// how long the stacked forward pass took and how long each query's
+    /// BFS took, both read from `clock`. The serving engine passes its
+    /// own injected clock here so per-request attribution sums exactly
+    /// even under a fake clock; plain callers use
+    /// [`OnlineStage::try_query_batch`], which supplies a monotonic
+    /// clock and discards the timing.
+    pub fn try_query_batch_timed(
+        &self,
+        queries: &[Query],
+        clock: &dyn Clock,
+    ) -> (Vec<Result<Vec<VertexId>, QdgnnError>>, BatchTiming) {
         let _query_span = qdgnn_obs::span!("serve.query_batch");
         qdgnn_obs::counter("serve.queries").inc_by(queries.len() as u64);
-        self.try_scores_batch(queries)
-            .into_iter()
-            .zip(queries)
-            .map(|(res, q)| res.map(|scores| self.identify(q, &scores)))
-            .collect()
+        let t0 = clock.now_micros();
+        let scores = self.try_scores_batch(queries);
+        let forward_us = clock.now_micros().saturating_sub(t0);
+        let mut bfs_us = Vec::with_capacity(queries.len());
+        let mut out = Vec::with_capacity(queries.len());
+        for (res, q) in scores.into_iter().zip(queries) {
+            let b0 = clock.now_micros();
+            let r = res.map(|s| self.identify(q, &s));
+            bfs_us.push(clock.now_micros().saturating_sub(b0));
+            out.push(r);
+        }
+        (out, BatchTiming { forward_us, bfs_us })
     }
 
     /// The post-inference community-identification step (constrained BFS

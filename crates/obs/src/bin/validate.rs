@@ -1,9 +1,12 @@
 //! `qdgnn-obs-validate` — schema checker for `--metrics-out` JSONL files.
 //!
-//! Validates that every line is a well-formed `span`, `event` or
-//! `snapshot` object, that exactly one snapshot is present and that it
-//! is the final line. Exits 0 on success, 1 with a per-line diagnostic
-//! otherwise. Used by the CI obs job.
+//! Validates that every line is a well-formed `span`, `event`, `trace`
+//! or `snapshot` object, that exactly one snapshot is present and that
+//! it is the final line, and that the snapshot never records the same
+//! base name both as an unlabeled series and as a labeled one (such a
+//! collision would render as conflicting Prometheus series). Exits 0 on
+//! success, 1 with a per-line diagnostic otherwise. Used by the CI obs
+//! job.
 
 use std::process::ExitCode;
 
@@ -40,13 +43,61 @@ fn check_event(v: &Value) -> Result<(), String> {
     Ok(())
 }
 
-fn validate(text: &str) -> Result<(usize, usize, MetricsSnapshot), String> {
+fn check_trace(v: &Value) -> Result<(), String> {
+    v.get("name").and_then(Value::as_str).ok_or("trace missing string `name`")?;
+    v.get("t_us").and_then(Value::as_num).ok_or("trace missing numeric `t_us`")?;
+    let labels = v.get("labels").and_then(Value::as_obj).ok_or("trace missing `labels` object")?;
+    for (k, lv) in labels {
+        if lv.as_str().is_none() {
+            return Err(format!("trace label `{k}` is not a string"));
+        }
+    }
+    let fields = v.get("fields").and_then(Value::as_obj).ok_or("trace missing `fields` object")?;
+    for (k, fv) in fields {
+        if fv.as_num().is_none() {
+            return Err(format!("trace field `{k}` is not a number"));
+        }
+    }
+    Ok(())
+}
+
+/// Rejects snapshots that record a base name both bare (`serve.request`)
+/// and labeled (`serve.request{outcome="…"}`): the Prometheus rendering
+/// of such a pair mixes labeled and unlabeled samples under one family,
+/// which scrapers treat as a conflicting series.
+fn check_label_collisions(snap: &MetricsSnapshot) -> Result<(), String> {
+    let mut bare: Vec<&str> = Vec::new();
+    let mut labeled_bases: Vec<&str> = Vec::new();
+    let names = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n)
+        .chain(snap.gauges.iter().map(|(n, _)| n))
+        .chain(snap.hists.iter().map(|h| &h.name));
+    for name in names {
+        match name.find('{') {
+            Some(at) => labeled_bases.push(&name[..at]),
+            None => bare.push(name),
+        }
+    }
+    for base in labeled_bases {
+        if bare.contains(&base) {
+            return Err(format!(
+                "snapshot records `{base}` both as an unlabeled series and as a labeled one"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn validate(text: &str) -> Result<(usize, usize, usize, MetricsSnapshot), String> {
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     if lines.is_empty() {
         return Err("file is empty".into());
     }
     let mut spans = 0usize;
     let mut events = 0usize;
+    let mut traces = 0usize;
     let mut snapshot = None;
     for (i, line) in lines.iter().enumerate() {
         let lineno = i + 1;
@@ -64,6 +115,10 @@ fn validate(text: &str) -> Result<(usize, usize, MetricsSnapshot), String> {
                 check_event(&v).map_err(|e| format!("line {lineno}: {e}"))?;
                 events += 1;
             }
+            "trace" => {
+                check_trace(&v).map_err(|e| format!("line {lineno}: {e}"))?;
+                traces += 1;
+            }
             "snapshot" => {
                 if snapshot.is_some() {
                     return Err(format!("line {lineno}: more than one snapshot"));
@@ -80,7 +135,8 @@ fn validate(text: &str) -> Result<(usize, usize, MetricsSnapshot), String> {
         }
     }
     let snapshot = snapshot.ok_or("missing final snapshot line")?;
-    Ok((spans, events, snapshot))
+    check_label_collisions(&snapshot)?;
+    Ok((spans, events, traces, snapshot))
 }
 
 fn main() -> ExitCode {
@@ -102,9 +158,9 @@ fn main() -> ExitCode {
             }
         };
         match validate(&text) {
-            Ok((spans, events, snap)) => {
+            Ok((spans, events, traces, snap)) => {
                 println!(
-                    "{path}: ok ({spans} spans, {events} events, {} counters, {} histograms)",
+                    "{path}: ok ({spans} spans, {events} events, {traces} traces, {} counters, {} histograms)",
                     snap.counters.len(),
                     snap.hists.len()
                 );
@@ -134,10 +190,11 @@ mod tests {
         let text = concat!(
             "{\"type\":\"span\",\"name\":\"serve.forward\",\"parent\":null,\"start_us\":1,\"dur_us\":2}\n",
             "{\"type\":\"event\",\"name\":\"train.epoch\",\"t_us\":5,\"fields\":{\"loss\":0.5}}\n",
+            "{\"type\":\"trace\",\"name\":\"serve.request\",\"t_us\":9,\"labels\":{\"outcome\":\"answered\"},\"fields\":{\"span_us\":42}}\n",
             "{\"type\":\"snapshot\",\"counters\":{},\"gauges\":{},\"histograms\":{}}\n",
         );
-        let (spans, events, _) = validate(text).unwrap();
-        assert_eq!((spans, events), (1, 1));
+        let (spans, events, traces, _) = validate(text).unwrap();
+        assert_eq!((spans, events, traces), (1, 1, 1));
     }
 
     #[test]
@@ -153,6 +210,39 @@ mod tests {
             "{\"type\":\"event\",\"name\":\"x\",\"t_us\":0,\"fields\":{}}\n",
         );
         assert!(validate(text).unwrap_err().contains("final line"));
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        let snap = "{\"type\":\"snapshot\",\"counters\":{},\"gauges\":{},\"histograms\":{}}\n";
+        let no_labels =
+            format!("{}{snap}", "{\"type\":\"trace\",\"name\":\"t\",\"t_us\":1,\"fields\":{}}\n");
+        assert!(validate(&no_labels).unwrap_err().contains("labels"));
+        let bad_label = format!(
+            "{}{snap}",
+            "{\"type\":\"trace\",\"name\":\"t\",\"t_us\":1,\"labels\":{\"tenant\":3},\"fields\":{}}\n"
+        );
+        assert!(validate(&bad_label).unwrap_err().contains("not a string"));
+        let bad_field = format!(
+            "{}{snap}",
+            "{\"type\":\"trace\",\"name\":\"t\",\"t_us\":1,\"labels\":{},\"fields\":{\"x\":\"y\"}}\n"
+        );
+        assert!(validate(&bad_field).unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn rejects_labeled_unlabeled_collision_in_snapshot() {
+        let text = concat!(
+            "{\"type\":\"snapshot\",\"counters\":{\"serve.request\":1,",
+            "\"serve.request{outcome=\\\"answered\\\"}\":1},\"gauges\":{},\"histograms\":{}}\n",
+        );
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("both as an unlabeled series"), "{err}");
+        let ok = concat!(
+            "{\"type\":\"snapshot\",\"counters\":{\"serve.requests_total\":2,",
+            "\"serve.request{outcome=\\\"answered\\\"}\":1},\"gauges\":{},\"histograms\":{}}\n",
+        );
+        assert!(validate(ok).is_ok());
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub fn counter(_name: &str) -> Counter {
     Counter
 }
 
+/// No-op labeled counter lookup.
+#[inline(always)]
+pub fn counter_with(_name: &str, _labels: &[(&str, &str)]) -> Counter {
+    Counter
+}
+
 /// Zero-sized no-op gauge handle.
 #[derive(Clone, Copy)]
 pub struct Gauge;
@@ -77,6 +83,10 @@ pub fn gauge(_name: &str) -> Gauge {
 /// No-op histogram observation.
 #[inline(always)]
 pub fn observe(_name: &str, _v: f64) {}
+
+/// No-op labeled histogram observation.
+#[inline(always)]
+pub fn observe_with(_name: &str, _labels: &[(&str, &str)], _v: f64) {}
 
 /// No-op memory-allocation accounting.
 #[inline(always)]
@@ -115,6 +125,13 @@ pub fn events_recorded() -> bool {
 /// No-op point event.
 #[inline(always)]
 pub fn event(_name: &str, _fields: &[(&str, f64)]) {}
+
+/// No-op trace record.
+#[inline(always)]
+pub fn trace(_name: &str, _labels: &[(&str, &str)], _fields: &[(&str, f64)]) {}
+
+/// Mirror of the live cap so call sites can reference it in any build.
+pub const MAX_LABEL_SETS: usize = 64;
 
 /// Zero-sized no-op span guard.
 pub struct SpanGuard;

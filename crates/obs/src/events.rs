@@ -1,12 +1,15 @@
 //! Structured events: the JSONL stream a profiled run emits.
 //!
-//! Two event shapes, one per JSONL line:
+//! Three event shapes, one per JSONL line:
 //!
 //! * `{"type":"span","name":…,"parent":…|null,"start_us":N,"dur_us":N}` —
 //!   one completed scoped timer;
 //! * `{"type":"event","name":…,"t_us":N,"fields":{…}}` — one point-in-time
 //!   occurrence with numeric fields (an epoch finishing, a rollback, a
-//!   checkpoint-write failure).
+//!   checkpoint-write failure);
+//! * `{"type":"trace","name":…,"t_us":N,"labels":{…},"fields":{…}}` — one
+//!   request-scoped trace record: string labels (tenant, outcome) plus
+//!   numeric phase timings for a single served request.
 //!
 //! A metrics file ends with exactly one
 //! `{"type":"snapshot",…}` line (see [`crate::metrics::MetricsSnapshot`]).
@@ -37,13 +40,27 @@ pub enum Event {
         /// Numeric payload, in insertion order.
         fields: Vec<(String, f64)>,
     },
+    /// A request-scoped trace record: one terminal disposition of one
+    /// served request, carrying string labels and numeric phase timings.
+    Trace {
+        /// Trace name, e.g. `serve.request`.
+        name: String,
+        /// Timestamp, µs since the registry clock's origin.
+        t_us: u64,
+        /// String labels (bounded-cardinality keys: tenant, outcome).
+        labels: Vec<(String, String)>,
+        /// Numeric payload, in insertion order.
+        fields: Vec<(String, f64)>,
+    },
 }
 
 impl Event {
     /// The event's name.
     pub fn name(&self) -> &str {
         match self {
-            Event::Span { name, .. } | Event::Point { name, .. } => name,
+            Event::Span { name, .. } | Event::Point { name, .. } | Event::Trace { name, .. } => {
+                name
+            }
         }
     }
 
@@ -75,17 +92,39 @@ impl Event {
                 out.push_str("}}");
                 out
             }
+            Event::Trace { name, t_us, labels, fields } => {
+                let mut out = format!(
+                    "{{\"type\":\"trace\",\"name\":{},\"t_us\":{},\"labels\":{{",
+                    json::escape(name),
+                    t_us
+                );
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json::escape(k), json::escape(v)));
+                }
+                out.push_str("},\"fields\":{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
+                }
+                out.push_str("}}");
+                out
+            }
         }
     }
 
     /// Parses one JSONL line back into an [`Event`].
     ///
-    /// Accepts exactly the two shapes [`Event::to_json`] emits
-    /// (`"type":"span"` and `"type":"event"`); anything else — including
-    /// a `"type":"snapshot"` line — is an error. Point-event field order
-    /// is not preserved (the JSON object is unordered), so a
-    /// `to_json`/`from_json` round-trip is exact for spans and
-    /// order-normalized for points.
+    /// Accepts exactly the three shapes [`Event::to_json`] emits
+    /// (`"type":"span"`, `"type":"event"` and `"type":"trace"`); anything
+    /// else — including a `"type":"snapshot"` line — is an error. Field
+    /// and label order is not preserved (the JSON object is unordered),
+    /// so a `to_json`/`from_json` round-trip is exact for spans and
+    /// order-normalized for points and traces.
     pub fn from_json(line: &str) -> Result<Event, String> {
         let v = json::parse(line)?;
         let kind = v
@@ -136,6 +175,33 @@ impl Event {
                         .collect::<Result<Vec<_>, _>>()?,
                 };
                 Ok(Event::Point { name, t_us: req_u64("t_us")?, fields })
+            }
+            "trace" => {
+                let labels = v
+                    .get("labels")
+                    .ok_or_else(|| "trace missing \"labels\"".to_string())?
+                    .as_obj()
+                    .ok_or_else(|| "\"labels\" must be an object".to_string())?
+                    .iter()
+                    .map(|(k, lv)| {
+                        lv.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("label \"{k}\" must be a string"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let fields = v
+                    .get("fields")
+                    .ok_or_else(|| "trace missing \"fields\"".to_string())?
+                    .as_obj()
+                    .ok_or_else(|| "\"fields\" must be an object".to_string())?
+                    .iter()
+                    .map(|(k, fv)| {
+                        fv.as_num()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| format!("field \"{k}\" must be numeric"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Event::Trace { name, t_us: req_u64("t_us")?, labels, fields })
             }
             other => Err(format!("not an event line (type {other:?})")),
         }
@@ -199,6 +265,55 @@ mod tests {
             }
             other => panic!("expected point, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_event_serializes_to_schema() {
+        let e = Event::Trace {
+            name: "serve.request".into(),
+            t_us: 42,
+            labels: vec![("outcome".into(), "answered".into()), ("tenant".into(), "acme".into())],
+            fields: vec![("queue_wait_us".into(), 7.0), ("span_us".into(), 12.0)],
+        };
+        let v = parse(&e.to_json()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("trace"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("serve.request"));
+        assert_eq!(v.get("t_us").unwrap().as_num(), Some(42.0));
+        let labels = v.get("labels").unwrap().as_obj().unwrap();
+        assert_eq!(labels["outcome"].as_str(), Some("answered"));
+        assert_eq!(labels["tenant"].as_str(), Some("acme"));
+        let fields = v.get("fields").unwrap().as_obj().unwrap();
+        assert_eq!(fields["queue_wait_us"].as_num(), Some(7.0));
+        assert_eq!(fields["span_us"].as_num(), Some(12.0));
+    }
+
+    #[test]
+    fn from_json_round_trips_traces_modulo_order() {
+        let e = Event::Trace {
+            name: "serve.request".into(),
+            t_us: 9,
+            labels: vec![("outcome".into(), "shed_deadline".into())],
+            fields: vec![("span_us".into(), 3.0)],
+        };
+        match Event::from_json(&e.to_json()).unwrap() {
+            Event::Trace { name, t_us, labels, fields } => {
+                assert_eq!(name, "serve.request");
+                assert_eq!(t_us, 9);
+                assert_eq!(labels, vec![("outcome".into(), "shed_deadline".into())]);
+                assert_eq!(fields, vec![("span_us".into(), 3.0)]);
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+        // Non-string labels and non-numeric fields are rejected.
+        assert!(Event::from_json(
+            "{\"type\":\"trace\",\"name\":\"x\",\"t_us\":0,\"labels\":{\"k\":1},\"fields\":{}}"
+        )
+        .is_err());
+        assert!(Event::from_json(
+            "{\"type\":\"trace\",\"name\":\"x\",\"t_us\":0,\"labels\":{},\"fields\":{\"k\":\"v\"}}"
+        )
+        .is_err());
+        assert!(Event::from_json("{\"type\":\"trace\",\"name\":\"x\",\"t_us\":0}").is_err());
     }
 
     #[test]

@@ -37,22 +37,26 @@ pub mod folded;
 pub mod json;
 pub mod metrics;
 
+pub mod names;
+
 #[cfg(feature = "enabled")]
 mod registry;
 #[cfg(feature = "enabled")]
 pub use registry::{
-    counter, event, events_recorded, gauge, is_enabled, mem_alloc, mem_free, mem_live_bytes,
-    mem_peak_bytes, now_micros, observe, op_timer, record_events, reset, reset_mem_peak,
-    set_clock, snapshot, take_events, write_jsonl, Counter, Gauge, OpTimer, SpanGuard,
+    counter, counter_with, event, events_recorded, gauge, is_enabled, mem_alloc, mem_free,
+    mem_live_bytes, mem_peak_bytes, now_micros, observe, observe_with, op_timer, record_events,
+    reset, reset_mem_peak, set_clock, snapshot, take_events, trace, write_jsonl, Counter, Gauge,
+    OpTimer, SpanGuard, MAX_LABEL_SETS,
 };
 
 #[cfg(not(feature = "enabled"))]
 mod disabled;
 #[cfg(not(feature = "enabled"))]
 pub use disabled::{
-    counter, event, events_recorded, gauge, is_enabled, mem_alloc, mem_free, mem_live_bytes,
-    mem_peak_bytes, now_micros, observe, op_timer, record_events, reset, reset_mem_peak,
-    set_clock, snapshot, take_events, write_jsonl, Counter, Gauge, OpTimer, SpanGuard,
+    counter, counter_with, event, events_recorded, gauge, is_enabled, mem_alloc, mem_free,
+    mem_live_bytes, mem_peak_bytes, now_micros, observe, observe_with, op_timer, record_events,
+    reset, reset_mem_peak, set_clock, snapshot, take_events, trace, write_jsonl, Counter, Gauge,
+    OpTimer, SpanGuard, MAX_LABEL_SETS,
 };
 
 /// Whether the instrumentation layer is compiled in (`enabled` feature).

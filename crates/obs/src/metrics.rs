@@ -320,6 +320,12 @@ impl MetricsSnapshot {
     /// Prometheus-style text exposition (metric names have `.` mapped to
     /// `_` and a `qdgnn_` prefix; histograms expose `_count`, `_sum` and
     /// cumulative `_bucket{le=…}` series).
+    ///
+    /// Labeled series — registry keys of the form `base{k="v",…}` from
+    /// `counter_with`/`observe_with` — keep their label block verbatim
+    /// (only the base is sanitized), and all series of one base are
+    /// grouped under a single `# TYPE` line as the exposition format
+    /// requires. Histogram labels are merged with the `le` bound.
     pub fn to_prometheus(&self) -> String {
         fn prom_name(name: &str) -> String {
             let mut out = String::from("qdgnn_");
@@ -328,38 +334,73 @@ impl MetricsSnapshot {
             }
             out
         }
-        let mut out = String::new();
-        for (name, v) in &self.counters {
-            let n = prom_name(name);
-            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        /// Splits an encoded series key into `(sanitized base, label block)`.
+        fn split_series(name: &str) -> (String, Option<&str>) {
+            match name.find('{') {
+                Some(i) => (prom_name(&name[..i]), Some(&name[i..])),
+                None => (prom_name(name), None),
+            }
         }
-        for (name, v) in &self.gauges {
-            let n = prom_name(name);
-            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", json::num(*v)));
-        }
-        for h in &self.hists {
-            let n = prom_name(&h.name);
-            out.push_str(&format!("# TYPE {n} histogram\n"));
-            let mut cum = 0u64;
-            for (i, &c) in h.buckets.iter().enumerate() {
-                cum += c;
-                // Skip long runs of empty high buckets for readability;
-                // always emit buckets that carry data and the +Inf bound.
-                if c == 0 && i != 0 {
-                    continue;
+        /// One base's rows: each is `(label block, payload)`.
+        type SeriesRows<'a, T> = Vec<(Option<&'a str>, T)>;
+        /// Groups `(name, payload)` rows by sanitized base, preserving
+        /// first-seen base order and per-base row order.
+        fn group_by_base<'a, T>(
+            rows: impl Iterator<Item = (&'a str, T)>,
+        ) -> Vec<(String, SeriesRows<'a, T>)> {
+            let mut groups: Vec<(String, SeriesRows<'a, T>)> = Vec::new();
+            for (name, payload) in rows {
+                let (base, labels) = split_series(name);
+                match groups.iter_mut().find(|(b, _)| *b == base) {
+                    Some((_, g)) => g.push((labels, payload)),
+                    None => groups.push((base, vec![(labels, payload)])),
                 }
-                out.push_str(&format!(
-                    "{n}_bucket{{le=\"{}\"}} {cum}\n",
-                    if i == NUM_BUCKETS - 1 {
+            }
+            groups
+        }
+        let mut out = String::new();
+        for (base, rows) in group_by_base(self.counters.iter().map(|(n, v)| (n.as_str(), *v))) {
+            out.push_str(&format!("# TYPE {base} counter\n"));
+            for (labels, v) in rows {
+                out.push_str(&format!("{base}{} {v}\n", labels.unwrap_or("")));
+            }
+        }
+        for (base, rows) in group_by_base(self.gauges.iter().map(|(n, v)| (n.as_str(), *v))) {
+            out.push_str(&format!("# TYPE {base} gauge\n"));
+            for (labels, v) in rows {
+                out.push_str(&format!("{base}{} {}\n", labels.unwrap_or(""), json::num(v)));
+            }
+        }
+        for (base, rows) in group_by_base(self.hists.iter().map(|h| (h.name.as_str(), h))) {
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            for (labels, h) in rows {
+                // `le` joins the series' own labels inside one block.
+                let inner = labels.map(|l| &l[1..l.len() - 1]);
+                let bucket_labels = |le: &str| match inner {
+                    Some(i) => format!("{{{i},le=\"{le}\"}}"),
+                    None => format!("{{le=\"{le}\"}}"),
+                };
+                let suffix = labels.unwrap_or("");
+                let mut cum = 0u64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    cum += c;
+                    // Skip long runs of empty high buckets for
+                    // readability; always emit buckets that carry data
+                    // and the +Inf bound.
+                    if c == 0 && i != 0 {
+                        continue;
+                    }
+                    let le = if i == NUM_BUCKETS - 1 {
                         "+Inf".to_string()
                     } else {
                         json::num(bucket_upper(i))
-                    }
-                ));
+                    };
+                    out.push_str(&format!("{base}_bucket{} {cum}\n", bucket_labels(&le)));
+                }
+                out.push_str(&format!("{base}_bucket{} {}\n", bucket_labels("+Inf"), h.count));
+                out.push_str(&format!("{base}_sum{suffix} {}\n", json::num(h.sum)));
+                out.push_str(&format!("{base}_count{suffix} {}\n", h.count));
             }
-            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-            out.push_str(&format!("{n}_sum {}\n", json::num(h.sum)));
-            out.push_str(&format!("{n}_count {}\n", h.count));
         }
         out
     }
@@ -476,6 +517,43 @@ mod tests {
         assert!(text.contains("# TYPE qdgnn_serve_bfs histogram"));
         assert!(text.contains("qdgnn_serve_bfs_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("qdgnn_serve_bfs_count 1"));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_labeled_series_grouped() {
+        let h = Histogram::new();
+        h.observe(3.0);
+        let snap = MetricsSnapshot {
+            counters: vec![
+                ("serve.request{outcome=\"answered\"}".into(), 5),
+                // A sibling base name sorts between the bare base and its
+                // labeled series; grouping must still emit one TYPE line
+                // per base with all its series adjacent.
+                ("serve.request{outcome=\"shed\"}".into(), 2),
+                ("serve.requests_total".into(), 7),
+            ],
+            gauges: vec![("serve.degraded_mode".into(), 1.0)],
+            hists: vec![h.snapshot("serve.request_span{outcome=\"answered\"}")],
+        };
+        let text = snap.to_prometheus();
+        assert_eq!(text.matches("# TYPE qdgnn_serve_request counter").count(), 1);
+        assert!(text.contains("qdgnn_serve_request{outcome=\"answered\"} 5\n"));
+        assert!(text.contains("qdgnn_serve_request{outcome=\"shed\"} 2\n"));
+        assert!(text.contains("# TYPE qdgnn_serve_requests_total counter"));
+        assert!(text.contains("qdgnn_serve_requests_total 7\n"));
+        assert!(text.contains("# TYPE qdgnn_serve_request_span histogram"));
+        assert!(
+            text.contains("qdgnn_serve_request_span_bucket{outcome=\"answered\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("qdgnn_serve_request_span_sum{outcome=\"answered\"} 3"));
+        assert!(text.contains("qdgnn_serve_request_span_count{outcome=\"answered\"} 1"));
+        // The two labeled counter series share one group: both value
+        // lines sit between the TYPE line and the next TYPE line.
+        let type_at = text.find("# TYPE qdgnn_serve_request counter").unwrap();
+        let next_type = text[type_at + 1..].find("# TYPE").unwrap() + type_at + 1;
+        let group = &text[type_at..next_type];
+        assert!(group.contains("outcome=\"answered\"") && group.contains("outcome=\"shed\""));
     }
 
     #[test]

@@ -20,12 +20,20 @@ use crate::metrics::{Histogram, MetricsSnapshot};
 /// snapshot as the `obs.events_dropped` counter.
 const MAX_EVENTS: usize = 1 << 20;
 
+/// Hard cap on distinct label sets per base metric name: an unbounded
+/// tenant id (or a bug interpolating request ids into labels) must not
+/// be able to grow the registry without bound. The 65th and later label
+/// sets collapse into one `base{overflow="true"}` series and are counted
+/// in the `obs.labels_dropped` counter.
+pub const MAX_LABEL_SETS: usize = 64;
+
 struct Registry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
     events: Mutex<Vec<Event>>,
     events_dropped: AtomicU64,
+    labels_dropped: AtomicU64,
     record_events: AtomicBool,
     // Tensor memory accounting. Dedicated atomics, not named counters:
     // `mem_alloc`/`mem_free` run on every buffer construction and drop,
@@ -44,6 +52,7 @@ fn registry() -> &'static Registry {
         hists: Mutex::new(BTreeMap::new()),
         events: Mutex::new(Vec::new()),
         events_dropped: AtomicU64::new(0),
+        labels_dropped: AtomicU64::new(0),
         record_events: AtomicBool::new(false),
         mem_alloc_bytes: AtomicU64::new(0),
         mem_freed_bytes: AtomicU64::new(0),
@@ -110,6 +119,95 @@ pub fn counter(name: &str) -> Counter {
     let c = Arc::new(AtomicU64::new(0));
     map.insert(name.to_string(), Arc::clone(&c));
     Counter(c)
+}
+
+/// Encodes `base` + labels as one series key: `base{k="v",…}` with keys
+/// sorted, so the same label set always maps to the same series
+/// regardless of call-site argument order. Quotes and backslashes in
+/// values are escaped; an empty label slice is just `base`.
+fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Looks up (creating on first use) a possibly-labeled series in `map`,
+/// enforcing [`MAX_LABEL_SETS`] per base name: a new label set beyond
+/// the cap collapses into the base's `{overflow="true"}` series and
+/// bumps the `labels_dropped` count.
+fn labeled_entry<T>(
+    map: &mut BTreeMap<String, Arc<T>>,
+    key: String,
+    mk: impl Fn() -> T,
+) -> Arc<T> {
+    if let Some(v) = map.get(&key) {
+        return Arc::clone(v);
+    }
+    let key = match key.find('{') {
+        Some(brace) if !key.ends_with("{overflow=\"true\"}") => {
+            let mut prefix = key[..brace + 1].to_string();
+            let live = map.keys().filter(|k| k.starts_with(&prefix)).count();
+            if live >= MAX_LABEL_SETS {
+                registry().labels_dropped.fetch_add(1, Ordering::Relaxed);
+                prefix.push_str("overflow=\"true\"}");
+                if let Some(v) = map.get(&prefix) {
+                    return Arc::clone(v);
+                }
+                prefix
+            } else {
+                key
+            }
+        }
+        _ => key,
+    };
+    let v = Arc::new(mk());
+    map.insert(key, Arc::clone(&v));
+    v
+}
+
+/// Returns (creating on first use) the counter `name` with the given
+/// label set. The series is stored under the encoded key `name{k="v",…}`
+/// (sorted label keys), so it flows through [`snapshot`], the JSONL
+/// export and the Prometheus exposition like any other counter. Label
+/// cardinality per base name is capped at [`MAX_LABEL_SETS`].
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Counter {
+    let key = labeled_key(name, labels);
+    let mut map = lock(&registry().counters);
+    Counter(labeled_entry(&mut map, key, || AtomicU64::new(0)))
+}
+
+/// Records one sample into the histogram `name` with the given label
+/// set (same series encoding and cardinality cap as [`counter_with`]).
+pub fn observe_with(name: &str, labels: &[(&str, &str)], v: f64) {
+    let key = labeled_key(name, labels);
+    let h = {
+        let mut map = lock(&registry().hists);
+        labeled_entry(&mut map, key, Histogram::new)
+    };
+    h.observe(v);
 }
 
 /// Handle to a named gauge (last-write-wins f64).
@@ -260,6 +358,26 @@ pub fn event(name: &str, fields: &[(&str, f64)]) {
     });
 }
 
+/// Records a request-scoped trace record: bumps the labeled companion
+/// counter `name{labels…}` (so every trace is countable even when event
+/// buffering is off) and — when buffering is on — emits a
+/// `{"type":"trace",…}` event with the labels and numeric fields. Labels
+/// are stored sorted by key.
+pub fn trace(name: &str, labels: &[(&str, &str)], fields: &[(&str, f64)]) {
+    counter_with(name, labels).inc();
+    if !events_recorded() {
+        return;
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    push_event(Event::Trace {
+        name: name.to_string(),
+        t_us: now_micros(),
+        labels: sorted.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    });
+}
+
 /// RAII scoped timer: measures from construction to drop, records the
 /// duration (µs) into the histogram named after the span, and — when
 /// event buffering is on — emits a span event carrying its parent span
@@ -341,6 +459,10 @@ pub fn snapshot() -> MetricsSnapshot {
     if dropped > 0 {
         counters.push(("obs.events_dropped".to_string(), dropped));
     }
+    let label_drops = reg.labels_dropped.load(Ordering::Relaxed);
+    if label_drops > 0 {
+        counters.push(("obs.labels_dropped".to_string(), label_drops));
+    }
     let alloc = reg.mem_alloc_bytes.load(Ordering::Relaxed);
     if alloc > 0 {
         counters.push(("mem.alloc_bytes".to_string(), alloc));
@@ -357,7 +479,7 @@ pub fn snapshot() -> MetricsSnapshot {
             reg.mem_peak_bytes.load(Ordering::Relaxed) as f64,
         ));
     }
-    if dropped > 0 || alloc > 0 {
+    if dropped > 0 || label_drops > 0 || alloc > 0 {
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
     }
@@ -396,6 +518,7 @@ pub fn reset() {
     lock(&reg.hists).clear();
     lock(&reg.events).clear();
     reg.events_dropped.store(0, Ordering::SeqCst);
+    reg.labels_dropped.store(0, Ordering::SeqCst);
     reg.record_events.store(false, Ordering::SeqCst);
     reg.mem_alloc_bytes.store(0, Ordering::Relaxed);
     reg.mem_freed_bytes.store(0, Ordering::Relaxed);
@@ -500,6 +623,83 @@ mod tests {
         let s = snapshot();
         assert_eq!(s.hist("t.reg.op").unwrap().count, 1);
         assert!((s.hist("t.reg.op").unwrap().max - 7.0).abs() < 1e-9);
+        reset();
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_series_with_sorted_keys() {
+        let _l = test_lock();
+        reset();
+        counter_with("t.lbl.req", &[("tenant", "a"), ("outcome", "ok")]).inc();
+        counter_with("t.lbl.req", &[("outcome", "ok"), ("tenant", "a")]).inc_by(2);
+        counter_with("t.lbl.req", &[("tenant", "b"), ("outcome", "ok")]).inc();
+        counter_with("t.lbl.req", &[]).inc();
+        observe_with("t.lbl.lat", &[("outcome", "ok")], 5.0);
+        observe_with("t.lbl.lat", &[("outcome", "ok")], 9.0);
+        let s = snapshot();
+        // Argument order does not matter: keys are sorted in the series key.
+        assert_eq!(s.counter("t.lbl.req{outcome=\"ok\",tenant=\"a\"}"), Some(3));
+        assert_eq!(s.counter("t.lbl.req{outcome=\"ok\",tenant=\"b\"}"), Some(1));
+        assert_eq!(s.counter("t.lbl.req"), Some(1), "empty labels are the bare series");
+        assert_eq!(s.hist("t.lbl.lat{outcome=\"ok\"}").unwrap().count, 2);
+        assert!(s.counter("obs.labels_dropped").is_none(), "nothing dropped");
+        reset();
+    }
+
+    #[test]
+    fn label_cardinality_caps_at_overflow_series() {
+        let _l = test_lock();
+        reset();
+        for i in 0..MAX_LABEL_SETS {
+            let tenant = format!("t{i}");
+            counter_with("t.cap.req", &[("tenant", tenant.as_str())]).inc();
+        }
+        // The cap is full: two more label sets collapse into overflow.
+        counter_with("t.cap.req", &[("tenant", "straw")]).inc();
+        counter_with("t.cap.req", &[("tenant", "camel")]).inc_by(2);
+        let s = snapshot();
+        assert_eq!(s.counter("t.cap.req{overflow=\"true\"}"), Some(3));
+        assert!(s.counter("t.cap.req{tenant=\"straw\"}").is_none());
+        assert_eq!(s.counter("obs.labels_dropped"), Some(2));
+        assert_eq!(s.counter("t.cap.req{tenant=\"t0\"}"), Some(1), "existing series keep recording");
+        // An already-admitted series is still reachable after the cap.
+        counter_with("t.cap.req", &[("tenant", "t3")]).inc();
+        assert_eq!(snapshot().counter("t.cap.req{tenant=\"t3\"}"), Some(2));
+        reset();
+    }
+
+    #[test]
+    fn trace_bumps_labeled_counter_and_buffers_when_recording() {
+        let _l = test_lock();
+        reset();
+        let clock = Arc::new(FakeClock::new());
+        set_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        clock.set_micros(77);
+        trace("t.trc.req", &[("outcome", "answered")], &[("span_us", 12.0)]);
+        assert!(take_events().is_empty(), "buffering off: counter only");
+        record_events(true);
+        trace("t.trc.req", &[("tenant", "a"), ("outcome", "shed")], &[("span_us", 3.0)]);
+        let events = take_events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::Trace { name, t_us, labels, fields } => {
+                assert_eq!(name, "t.trc.req");
+                assert_eq!(*t_us, 77);
+                assert_eq!(
+                    labels,
+                    &vec![
+                        ("outcome".to_string(), "shed".to_string()),
+                        ("tenant".to_string(), "a".to_string())
+                    ],
+                    "labels are stored sorted by key"
+                );
+                assert_eq!(fields, &vec![("span_us".to_string(), 3.0)]);
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+        let s = snapshot();
+        assert_eq!(s.counter("t.trc.req{outcome=\"answered\"}"), Some(1));
+        assert_eq!(s.counter("t.trc.req{outcome=\"shed\",tenant=\"a\"}"), Some(1));
         reset();
     }
 

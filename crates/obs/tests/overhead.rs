@@ -22,9 +22,12 @@ fn disabled_handles_are_zero_sized() {
 fn disabled_recording_has_no_observable_state() {
     qdgnn_obs::record_events(true);
     qdgnn_obs::counter("t.off.c").inc_by(100);
+    qdgnn_obs::counter_with("t.off.cl", &[("tenant", "a")]).inc();
     qdgnn_obs::gauge("t.off.g").set(5.0);
     qdgnn_obs::observe("t.off.h", 1.0);
+    qdgnn_obs::observe_with("t.off.hl", &[("outcome", "ok")], 1.0);
     qdgnn_obs::event("t.off.e", &[("x", 1.0)]);
+    qdgnn_obs::trace("t.off.t", &[("tenant", "a")], &[("span_us", 1.0)]);
     {
         let _s = qdgnn_obs::span!("t.off.span");
         let _t = qdgnn_obs::op_timer("t.off.op");
@@ -66,7 +69,10 @@ fn disabled_hot_loop_overhead_is_negligible() {
             let _span = qdgnn_obs::span!("t.hot.span");
             let _timer = qdgnn_obs::op_timer("t.hot.op");
             qdgnn_obs::counter("t.hot.c").inc();
+            qdgnn_obs::counter_with("t.hot.cl", &[("outcome", "answered")]).inc();
             qdgnn_obs::observe("t.hot.h", i as f64);
+            qdgnn_obs::observe_with("t.hot.hl", &[("outcome", "answered")], i as f64);
+            qdgnn_obs::trace("t.hot.t", &[("outcome", "answered")], &[("i", i as f64)]);
             qdgnn_obs::mem_alloc(i);
             qdgnn_obs::mem_free(i);
             acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);

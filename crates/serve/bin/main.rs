@@ -9,6 +9,7 @@
 //! qdgnn-serve [--preset NAME] [--clients N] [--queries N]
 //!             [--max-batch N] [--max-wait-us N] [--workers N]
 //!             [--deadline-us N] [--overload]
+//!             [--telemetry ADDR] [--linger-secs N]
 //!             [--epochs N] [--seq] [--metrics]
 //! ```
 //!
@@ -22,6 +23,15 @@
 //! deadline was given, calibrates one to ~3 batches of measured service
 //! time — expect a visible-but-partial shed rate while accepted
 //! requests stay inside the budget.
+//!
+//! `--telemetry ADDR` binds the scrapeable telemetry listener
+//! (`/metrics`, `/healthz`, `/traces`) on `ADDR` (e.g.
+//! `127.0.0.1:9100`) for the life of the run; `--linger-secs N` keeps
+//! the engine and listener up for N seconds after the workload drains,
+//! so an external scraper can read the final counters before the clean
+//! shutdown. Each client thread submits under its own tenant label
+//! (`client-0`, `client-1`, …), so `/metrics` shows the per-tenant
+//! `qdgnn_serve_tenant_request` breakdown.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,7 +41,7 @@ use std::time::{Duration, Instant};
 use qdgnn_core::{AqdGnn, CsModel, GraphTensors, ModelConfig, OnlineStage, TrainConfig, Trainer};
 use qdgnn_data::{presets, queries as qgen, AttrMode, Dataset, Query, QuerySplit};
 use qdgnn_graph::attributed::AdjNorm;
-use qdgnn_serve::{ServeConfig, ServeEngine, ServeError};
+use qdgnn_serve::{ServeConfig, ServeEngine, ServeError, TelemetryServer};
 
 struct Args {
     preset: String,
@@ -41,6 +51,8 @@ struct Args {
     sequential: bool,
     metrics: bool,
     overload: bool,
+    telemetry: Option<String>,
+    linger_secs: u64,
     cfg: ServeConfig,
 }
 
@@ -54,6 +66,8 @@ impl Args {
             sequential: false,
             metrics: false,
             overload: false,
+            telemetry: None,
+            linger_secs: 0,
             cfg: ServeConfig::default(),
         };
         let mut it = std::env::args().skip(1);
@@ -74,11 +88,14 @@ impl Args {
                 "--overload" => args.overload = true,
                 "--seq" => args.sequential = true,
                 "--metrics" => args.metrics = true,
+                "--telemetry" => args.telemetry = Some(value("--telemetry")?),
+                "--linger-secs" => args.linger_secs = parse_num(&value("--linger-secs")?)? as u64,
                 "--help" | "-h" => {
                     println!(
                         "qdgnn-serve [--preset NAME] [--clients N] [--queries N] \
                          [--max-batch N] [--max-wait-us N] [--workers N] \
                          [--queue-capacity N] [--deadline-us N] [--overload] \
+                         [--telemetry ADDR] [--linger-secs N] \
                          [--epochs N] [--seq] [--metrics]"
                     );
                     std::process::exit(0);
@@ -215,7 +232,22 @@ fn run() -> Result<(), String> {
             format!("{}µs", cfg.deadline_us)
         }
     );
-    let engine = ServeEngine::new(stage, cfg.clone()).map_err(|e| e.to_string())?;
+    let engine = Arc::new(ServeEngine::new(stage, cfg.clone()).map_err(|e| e.to_string())?);
+    let mut telemetry = match &args.telemetry {
+        Some(addr) => {
+            let server =
+                TelemetryServer::start(Arc::clone(&engine), addr).map_err(|e| e.to_string())?;
+            println!(
+                "telemetry: http://{0}/metrics /healthz /traces (try `curl http://{0}/metrics`)",
+                server.addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+    // Each client thread submits under its own tenant label so the
+    // per-tenant series shows up on /metrics.
+    let deadline = (cfg.deadline_us > 0).then(|| Duration::from_micros(cfg.deadline_us));
     let served = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
     let shed = AtomicUsize::new(0);
@@ -229,10 +261,11 @@ fn run() -> Result<(), String> {
             let rejected = &rejected;
             let shed = &shed;
             s.spawn(move |_| {
+                let tenant = format!("client-{c}");
                 for q in chunk {
                     // Closed loop with bounded retry on backpressure.
                     loop {
-                        match engine.submit(q.clone()) {
+                        match engine.submit_labeled(q.clone(), Some(&tenant), deadline) {
                             Ok(pending) => {
                                 match pending.wait() {
                                     Ok(_) => served.fetch_add(1, Ordering::Relaxed),
@@ -273,7 +306,18 @@ fn run() -> Result<(), String> {
         return Err("client thread panicked".to_string());
     }
     let elapsed = t0.elapsed();
+    if args.linger_secs > 0 {
+        // Keep the engine (and the telemetry listener) up so an
+        // external scraper can read the final counters before the
+        // clean shutdown.
+        println!("lingering {}s for scrapers…", args.linger_secs);
+        std::thread::sleep(Duration::from_secs(args.linger_secs));
+    }
     engine.shutdown();
+    if let Some(server) = telemetry.as_mut() {
+        server.shutdown();
+        println!("telemetry: stopped");
+    }
     report(
         "batched",
         served.load(Ordering::Relaxed),

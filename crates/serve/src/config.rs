@@ -43,6 +43,15 @@ pub struct ServeConfig {
     /// single-query mode after the breaker trips; a panic during the
     /// cooldown restarts it. After a quiet cooldown, batching resumes.
     pub breaker_cooldown_us: u64,
+    /// How many tail exemplars the engine retains per category (the K
+    /// slowest request traces and the K most recently shed ones) within
+    /// each exemplar window, for `ServeEngine::exemplars` and the
+    /// `/traces` endpoint. Must be at least 1.
+    pub exemplar_k: usize,
+    /// Width (µs, engine clock) of the exemplar retention window;
+    /// crossing a window boundary clears the retained exemplars so they
+    /// never describe stale load. Must be at least 1.
+    pub exemplar_window_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +65,8 @@ impl Default for ServeConfig {
             panic_threshold: 3,
             panic_window_us: 10_000_000,
             breaker_cooldown_us: 5_000_000,
+            exemplar_k: 4,
+            exemplar_window_us: 60_000_000,
         }
     }
 }
@@ -76,6 +87,12 @@ impl ServeConfig {
         if self.panic_threshold == 0 {
             return Err(ServeError::InvalidConfig("panic_threshold must be at least 1".into()));
         }
+        if self.exemplar_k == 0 {
+            return Err(ServeError::InvalidConfig("exemplar_k must be at least 1".into()));
+        }
+        if self.exemplar_window_us == 0 {
+            return Err(ServeError::InvalidConfig("exemplar_window_us must be at least 1".into()));
+        }
         Ok(())
     }
 }
@@ -92,6 +109,8 @@ mod tests {
             ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
             ServeConfig { workers: 0, ..ServeConfig::default() },
             ServeConfig { panic_threshold: 0, ..ServeConfig::default() },
+            ServeConfig { exemplar_k: 0, ..ServeConfig::default() },
+            ServeConfig { exemplar_window_us: 0, ..ServeConfig::default() },
         ] {
             assert!(matches!(bad.validate(), Err(ServeError::InvalidConfig(_))));
         }

@@ -61,6 +61,7 @@ use qdgnn_obs::clock::{Clock, MonotonicClock};
 use crate::batcher::{BatchDecision, BatchPolicy};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
+use crate::trace::{ExemplarRing, RequestTrace, TraceOutcome};
 
 /// Upper bound on one real condvar wait (µs). Workers sleep at most this
 /// long before re-reading the injected clock, which keeps deadline
@@ -77,13 +78,18 @@ const NO_DEADLINE: u64 = u64::MAX;
 
 type Reply = Result<Vec<VertexId>, ServeError>;
 
-/// One queued request: the query, its admission timestamp and absolute
+/// One queued request: the query, its trace identity (engine-unique id
+/// and optional tenant label), its admission timestamp and absolute
 /// deadline (engine clock; [`NO_DEADLINE`] when none), and the channel
-/// its answer travels back on.
+/// its answer travels back on. `wait_us` is stamped at flush time so a
+/// panicking batch can still attribute queue wait in its traces.
 struct Request {
     query: Query,
+    id: u64,
+    tenant: Option<Arc<str>>,
     enqueue_us: u64,
     deadline_us: u64,
+    wait_us: u64,
     reply: mpsc::Sender<Reply>,
 }
 
@@ -160,6 +166,12 @@ struct Shared {
     wait_ewma_us: AtomicU64,
     breaker: Mutex<BreakerState>,
     counters: EngineCounters,
+    /// Monotonic request-id source; ids are minted at submit and ride
+    /// the request through its trace.
+    next_request_id: AtomicU64,
+    /// Tail exemplars (K slowest + K recently shed per window) for the
+    /// `/traces` endpoint. Recorded in every build, like the counters.
+    exemplars: Mutex<ExemplarRing>,
     /// One in-flight slot per worker: the batch currently executing is
     /// parked here so the supervisor can answer it after a panic.
     in_flight: Vec<Mutex<Vec<Request>>>,
@@ -267,6 +279,8 @@ impl ServeEngine {
                 tripped_at_us: None,
             }),
             counters: EngineCounters::default(),
+            next_request_id: AtomicU64::new(0),
+            exemplars: Mutex::new(ExemplarRing::new(cfg.exemplar_k, cfg.exemplar_window_us)),
             in_flight: (0..cfg.workers).map(|_| Mutex::new(Vec::new())).collect(),
         });
         let workers = (0..cfg.workers)
@@ -305,40 +319,100 @@ impl ServeEngine {
         query: Query,
         deadline: Option<Duration>,
     ) -> Result<Pending, ServeError> {
+        self.submit_labeled(query, None, deadline)
+    }
+
+    /// [`ServeEngine::submit_with_deadline`] plus a tenant label: the
+    /// label rides the request's trace and keys the per-tenant labeled
+    /// metric series (`serve.tenant_request`). Tenant values should be
+    /// low-cardinality identifiers — the metric layer collapses excess
+    /// label sets into an overflow series rather than growing without
+    /// bound.
+    pub fn submit_labeled(
+        &self,
+        query: Query,
+        tenant: Option<&str>,
+        deadline: Option<Duration>,
+    ) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::channel();
         let budget_us = deadline.map(|d| u64::try_from(d.as_micros()).unwrap_or(NO_DEADLINE));
-        {
+        let tenant: Option<Arc<str>> = tenant.map(Arc::from);
+        let id = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+        // Admission runs under the queue lock; the shed trace is
+        // recorded after the guard drops (the exemplar ring has its own
+        // lock and must stay leaf-ordered after the queue).
+        let admitted: Result<(), ServeError> = {
             let mut q = self.shared.queue.lock();
             if q.shutting_down {
                 qdgnn_obs::counter("serve.rejected").inc();
-                return Err(ServeError::ShuttingDown);
-            }
-            if q.requests.len() >= self.shared.capacity {
+                Err(ServeError::ShuttingDown)
+            } else if q.requests.len() >= self.shared.capacity {
                 qdgnn_obs::counter("serve.rejected").inc();
-                return Err(ServeError::QueueFull { capacity: self.shared.capacity });
-            }
-            if let Some(budget) = budget_us {
+                Err(ServeError::QueueFull { capacity: self.shared.capacity })
+            } else {
                 // Tier-2 shedding: reject on admission when the queue is
                 // backed up and recent queue waits already exceed this
                 // request's whole budget — it would only be shed later
                 // anyway, after clogging the queue. An empty queue skips
                 // the estimate: the next flush is bounded by max_wait.
                 let estimate = self.shared.wait_ewma_us.load(Ordering::Relaxed);
-                if !q.requests.is_empty() && estimate > budget {
+                let over_budget =
+                    budget_us.is_some_and(|b| !q.requests.is_empty() && estimate > b);
+                if over_budget {
                     self.shared.counters.shed_admission.fetch_add(1, Ordering::Relaxed);
                     qdgnn_obs::counter("serve.shed").inc();
                     qdgnn_obs::counter("serve.deadline_exceeded").inc();
-                    return Err(ServeError::DeadlineExceeded { waited_us: 0, deadline_us: budget });
+                    Err(ServeError::DeadlineExceeded {
+                        waited_us: 0,
+                        deadline_us: budget_us.unwrap_or(0),
+                    })
+                } else {
+                    let enqueue_us = self.shared.clock.now_micros();
+                    let deadline_us =
+                        budget_us.map(|b| enqueue_us.saturating_add(b)).unwrap_or(NO_DEADLINE);
+                    q.requests.push_back(Request {
+                        query,
+                        id,
+                        tenant: tenant.clone(),
+                        enqueue_us,
+                        deadline_us,
+                        wait_us: 0,
+                        reply: tx,
+                    });
+                    qdgnn_obs::observe("serve.queue_depth", q.requests.len() as f64);
+                    Ok(())
                 }
             }
-            let enqueue_us = self.shared.clock.now_micros();
-            let deadline_us =
-                budget_us.map(|b| enqueue_us.saturating_add(b)).unwrap_or(NO_DEADLINE);
-            q.requests.push_back(Request { query, enqueue_us, deadline_us, reply: tx });
-            qdgnn_obs::observe("serve.queue_depth", q.requests.len() as f64);
+        };
+        match admitted {
+            Ok(()) => {
+                self.shared.work_ready.notify_one();
+                Ok(Pending { rx, deadline: budget_us.map(Duration::from_micros) })
+            }
+            Err(e) => {
+                if matches!(e, ServeError::DeadlineExceeded { .. }) {
+                    let now = self.shared.clock.now_micros();
+                    finish_trace(
+                        &self.shared,
+                        RequestTrace {
+                            request_id: id,
+                            tenant,
+                            admitted_us: now,
+                            queue_wait_us: 0,
+                            batch_size: 0,
+                            batch_position: 0,
+                            batch_share_us: 0,
+                            bfs_us: 0,
+                            span_us: 0,
+                            overhead_us: 0,
+                            outcome: TraceOutcome::ShedAdmission,
+                            degraded: false,
+                        },
+                    );
+                }
+                Err(e)
+            }
         }
-        self.shared.work_ready.notify_one();
-        Ok(Pending { rx, deadline: budget_us.map(Duration::from_micros) })
     }
 
     /// Convenience: [`ServeEngine::submit`] plus [`Pending::wait`].
@@ -356,15 +430,34 @@ impl ServeEngine {
     /// tier, absorbed worker panics, breaker trips, and whether the
     /// engine is currently degraded. Exact in every build (independent
     /// of the obs feature).
+    ///
+    /// As a side effect, every snapshot is mirrored into obs gauges
+    /// (`serve.stats.*`, `serve.degraded_mode`, `serve.stats.queue_depth`),
+    /// so a Prometheus scrape that calls `stats()` first can never
+    /// disagree with the engine's own atomics.
     pub fn stats(&self) -> EngineStats {
         let now = self.shared.clock.now_micros();
-        EngineStats {
+        let stats = EngineStats {
             shed_admission: self.shared.counters.shed_admission.load(Ordering::Relaxed),
             shed_deadline: self.shared.counters.shed_deadline.load(Ordering::Relaxed),
             worker_panics: self.shared.counters.worker_panics.load(Ordering::Relaxed),
             breaker_trips: self.shared.counters.breaker_trips.load(Ordering::Relaxed),
             degraded: degraded_now(&self.shared, now),
-        }
+        };
+        qdgnn_obs::gauge("serve.stats.shed_admission").set(stats.shed_admission as f64);
+        qdgnn_obs::gauge("serve.stats.shed_deadline").set(stats.shed_deadline as f64);
+        qdgnn_obs::gauge("serve.stats.worker_panics").set(stats.worker_panics as f64);
+        qdgnn_obs::gauge("serve.stats.breaker_trips").set(stats.breaker_trips as f64);
+        qdgnn_obs::gauge("serve.degraded_mode").set(if stats.degraded { 1.0 } else { 0.0 });
+        qdgnn_obs::gauge("serve.stats.queue_depth").set(self.queue_depth() as f64);
+        stats
+    }
+
+    /// Current tail exemplars: the K slowest and K most recently shed
+    /// request traces of the active window (see
+    /// [`ServeConfig::exemplar_k`]). Backs the `/traces` endpoint.
+    pub fn exemplars(&self) -> Vec<RequestTrace> {
+        self.shared.exemplars.lock().snapshot()
     }
 
     /// Whether the circuit breaker currently holds the engine in
@@ -423,6 +516,42 @@ impl Drop for ServeEngine {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Terminal-point bookkeeping for one finished request: offers the
+/// trace to the exemplar ring (every build, exact), then mirrors it
+/// into the labeled obs series — `serve.request{outcome}` (counter plus
+/// buffered trace event with the full phase breakdown),
+/// `serve.request_span{outcome}` (histogram), and, when the request
+/// carried a tenant, `serve.tenant_request{tenant,outcome}`.
+///
+/// May run under the queue lock (dequeue-tier sheds); the exemplar lock
+/// is a leaf — nothing is acquired while holding it.
+fn finish_trace(shared: &Shared, trace: RequestTrace) {
+    let now = shared.clock.now_micros();
+    shared.exemplars.lock().record(now, trace.clone());
+    let outcome = trace.outcome.as_str();
+    if let Some(tenant) = trace.tenant.as_deref() {
+        qdgnn_obs::counter_with("serve.tenant_request", &[("tenant", tenant), ("outcome", outcome)])
+            .inc();
+    }
+    qdgnn_obs::observe_with("serve.request_span", &[("outcome", outcome)], trace.span_us as f64);
+    qdgnn_obs::trace(
+        "serve.request",
+        &[("outcome", outcome)],
+        &[
+            ("request_id", trace.request_id as f64),
+            ("admitted_us", trace.admitted_us as f64),
+            ("queue_wait_us", trace.queue_wait_us as f64),
+            ("batch_size", trace.batch_size as f64),
+            ("batch_position", trace.batch_position as f64),
+            ("batch_share_us", trace.batch_share_us as f64),
+            ("bfs_us", trace.bfs_us as f64),
+            ("span_us", trace.span_us as f64),
+            ("overhead_us", trace.overhead_us as f64),
+            ("degraded", if trace.degraded { 1.0 } else { 0.0 }),
+        ],
+    );
 }
 
 /// Whether the breaker currently holds the engine degraded at `now`.
@@ -484,8 +613,28 @@ fn shed_expired(shared: &Shared, q: &mut QueueState, now: u64) {
         shared.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
         qdgnn_obs::counter("serve.shed").inc();
         qdgnn_obs::counter("serve.deadline_exceeded").inc();
+        let waited_us = now.saturating_sub(req.enqueue_us);
+        // Trace before replying: once the submitter observes the shed,
+        // the trace is already queryable.
+        finish_trace(
+            shared,
+            RequestTrace {
+                request_id: req.id,
+                tenant: req.tenant.clone(),
+                admitted_us: req.enqueue_us,
+                queue_wait_us: waited_us,
+                batch_size: 0,
+                batch_position: 0,
+                batch_share_us: 0,
+                bfs_us: 0,
+                span_us: waited_us,
+                overhead_us: 0,
+                outcome: TraceOutcome::ShedDeadline,
+                degraded: false,
+            },
+        );
         let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
-            waited_us: now.saturating_sub(req.enqueue_us),
+            waited_us,
             deadline_us: req.budget_us(),
         }));
     }
@@ -503,8 +652,10 @@ fn observe_wait_ewma(shared: &Shared, wait_us: u64) {
 /// Blocks until the policy says flush (or shutdown drains), then drains
 /// up to `max_batch` requests FIFO (1 in degraded mode). Expired
 /// requests are shed before every flush decision. `None` means shutdown
-/// with an empty queue: the worker should exit.
-fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+/// with an empty queue: the worker should exit. The returned flag says
+/// whether the batch was taken under the degraded regime, so request
+/// traces can record it.
+fn next_batch(shared: &Shared) -> Option<(Vec<Request>, bool)> {
     let mut q = shared.queue.lock();
     loop {
         let now = shared.clock.now_micros();
@@ -539,9 +690,10 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
         }
     }
     let now = shared.clock.now_micros();
-    let limit = if degraded_now(shared, now) { 1 } else { shared.policy.max_batch };
+    let degraded = degraded_now(shared, now);
+    let limit = if degraded { 1 } else { shared.policy.max_batch };
     let take = q.requests.len().min(limit);
-    Some(q.requests.drain(..take).collect())
+    Some((q.requests.drain(..take).collect(), degraded))
 }
 
 /// Worker body: flush batches until shutdown empties the queue. The
@@ -549,7 +701,7 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
 /// so the supervisor can answer it after a panic.
 fn worker_loop(shared: &Shared, slot: &Mutex<Vec<Request>>) {
     loop {
-        let Some(batch) = next_batch(shared) else {
+        let Some((mut batch, degraded)) = next_batch(shared) else {
             return;
         };
         if batch.is_empty() {
@@ -557,18 +709,54 @@ fn worker_loop(shared: &Shared, slot: &Mutex<Vec<Request>>) {
         }
         let _flush_span = qdgnn_obs::span!("serve.flush");
         let now = shared.clock.now_micros();
-        for req in &batch {
-            let wait = now.saturating_sub(req.enqueue_us);
-            qdgnn_obs::observe("serve.queue_wait", wait as f64);
-            observe_wait_ewma(shared, wait);
+        for req in &mut batch {
+            // Stamp the queue wait on the request itself: if the batch
+            // panics mid-forward, its traces still attribute the wait.
+            req.wait_us = now.saturating_sub(req.enqueue_us);
+            qdgnn_obs::observe("serve.queue_wait", req.wait_us as f64);
+            observe_wait_ewma(shared, req.wait_us);
         }
         let queries: Vec<Query> = batch.iter().map(|r| r.query.clone()).collect();
         // Park the batch before the forward pass: if the stage panics,
         // nothing below runs, and the supervisor drains the slot.
         *slot.lock() = batch;
-        let results = shared.stage.try_query_batch(&queries);
+        let (results, timing) =
+            shared.stage.try_query_batch_timed(&queries, shared.clock.as_ref());
+        let end_us = shared.clock.now_micros();
         let batch = std::mem::take(&mut *slot.lock());
-        for (req, res) in batch.into_iter().zip(results) {
+        let size = batch.len() as u64;
+        // Amortize the batch forward pass across its requests so the
+        // shares sum exactly to the measured forward time: everyone gets
+        // the integer share, the first `forward % size` positions absorb
+        // the remainder microseconds.
+        let (share, remainder) =
+            (timing.forward_us / size.max(1), timing.forward_us % size.max(1));
+        for (pos, (req, res)) in batch.into_iter().zip(results).enumerate() {
+            let batch_share_us = share + u64::from((pos as u64) < remainder);
+            let bfs_us = timing.bfs_us.get(pos).copied().unwrap_or(0);
+            let span_us = end_us.saturating_sub(req.enqueue_us);
+            let outcome =
+                if res.is_ok() { TraceOutcome::Answered } else { TraceOutcome::QueryError };
+            // Trace before replying: once the submitter observes the
+            // answer, the trace is already queryable.
+            finish_trace(
+                shared,
+                RequestTrace {
+                    request_id: req.id,
+                    tenant: req.tenant.clone(),
+                    admitted_us: req.enqueue_us,
+                    queue_wait_us: req.wait_us,
+                    batch_size: size,
+                    batch_position: pos as u64,
+                    batch_share_us,
+                    bfs_us,
+                    span_us,
+                    overhead_us: span_us
+                        .saturating_sub(req.wait_us + batch_share_us + bfs_us),
+                    outcome,
+                    degraded,
+                },
+            );
             // A submitter that dropped its Pending no longer cares.
             let _ = req.reply.send(res.map_err(ServeError::Query));
         }
@@ -592,7 +780,31 @@ fn supervise_worker(shared: &Shared, idx: usize) {
             Ok(()) => return,
             Err(_) => {
                 let dying: Vec<Request> = std::mem::take(&mut *slot.lock());
-                for req in dying {
+                let now = shared.clock.now_micros();
+                let size = dying.len() as u64;
+                for (pos, req) in dying.into_iter().enumerate() {
+                    // The forward pass died mid-flight, so batch share
+                    // and BFS are unattributable — the whole remainder
+                    // of the span lands in overhead. Trace first, then
+                    // reply, so a received reply implies the trace.
+                    let span_us = now.saturating_sub(req.enqueue_us);
+                    finish_trace(
+                        shared,
+                        RequestTrace {
+                            request_id: req.id,
+                            tenant: req.tenant.clone(),
+                            admitted_us: req.enqueue_us,
+                            queue_wait_us: req.wait_us,
+                            batch_size: size,
+                            batch_position: pos as u64,
+                            batch_share_us: 0,
+                            bfs_us: 0,
+                            span_us,
+                            overhead_us: span_us.saturating_sub(req.wait_us),
+                            outcome: TraceOutcome::WorkerPanicked,
+                            degraded: false,
+                        },
+                    );
                     let _ = req.reply.send(Err(ServeError::WorkerPanicked));
                 }
                 record_panic(shared);

@@ -48,6 +48,10 @@ pub enum ServeError {
     WorkerLost,
     /// The engine configuration is unusable (zero capacity, no workers).
     InvalidConfig(String),
+    /// The telemetry endpoint could not start or serve (bind failure,
+    /// listener thread could not spawn). Serving itself is unaffected —
+    /// the telemetry listener is isolated from the worker pool.
+    Telemetry(String),
 }
 
 impl fmt::Display for ServeError {
@@ -67,6 +71,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::WorkerLost => write!(f, "worker thread lost before responding"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Telemetry(msg) => write!(f, "telemetry endpoint error: {msg}"),
         }
     }
 }

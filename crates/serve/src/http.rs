@@ -1,0 +1,288 @@
+//! A dependency-free telemetry endpoint for the serving engine.
+//!
+//! [`TelemetryServer::start`] binds a TCP listener and serves three
+//! read-only views over HTTP/1.0 from a single dedicated thread,
+//! completely isolated from the worker pool (a slow or hostile scraper
+//! can never stall a query):
+//!
+//! * `GET /metrics` — the obs registry snapshot in Prometheus text
+//!   exposition format (labeled series included). The engine's stats
+//!   gauges are refreshed immediately before the snapshot, so the
+//!   exposition can never disagree with the engine's own atomics.
+//! * `GET /healthz` — a JSON verdict: breaker/degraded state, queue
+//!   depth and the failure counters. Answers `503` while the engine is
+//!   degraded, `200` otherwise, so a load balancer can act on it.
+//! * `GET /traces` — the current tail exemplars (K slowest + K most
+//!   recently shed request traces) as JSONL, one
+//!   [`RequestTrace`](crate::trace::RequestTrace) per line.
+//!
+//! The protocol surface is deliberately tiny: GET only, bounded request
+//! read, per-connection read/write timeouts, `Connection: close` on
+//! every response. Shutdown flips a flag and unblocks the accept loop
+//! with a throwaway self-connection, then joins the thread.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::ServeEngine;
+use crate::error::ServeError;
+
+/// Upper bound on one request's bytes; requests are GET-with-no-body,
+/// so anything longer is garbage and gets a 400.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Per-connection read/write timeout: a stalled scraper is disconnected
+/// rather than pinning the listener thread.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Handle to a running telemetry listener. Shuts down on `Drop` (or
+/// explicitly via [`TelemetryServer::shutdown`]); dropping the handle
+/// never affects the serving engine itself.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9095"`; port `0` picks a free
+    /// port, readable back via [`TelemetryServer::addr`]) and starts the
+    /// listener thread serving telemetry for `engine`.
+    pub fn start(engine: Arc<ServeEngine>, addr: &str) -> Result<TelemetryServer, ServeError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Telemetry(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServeError::Telemetry(format!("local_addr: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("qdgnn-telemetry".into())
+            .spawn(move || accept_loop(&listener, &engine, &flag))
+            .map_err(|e| ServeError::Telemetry(format!("spawn listener thread: {e}")))?;
+        Ok(TelemetryServer { addr: local, shutdown, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener: flips the shutdown flag, unblocks the accept
+    /// loop with a self-connection, and joins the thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop re-checks the flag after every accept; this
+        // throwaway connection guarantees one more wake-up.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts connections until the shutdown flag flips. Connections are
+/// served inline — telemetry traffic is a scraper every few seconds,
+/// not a request flood, and one thread keeps the surface minimal.
+fn accept_loop(listener: &TcpListener, engine: &Arc<ServeEngine>, shutdown: &AtomicBool) {
+    loop {
+        let conn = listener.accept();
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok((stream, _peer)) = conn {
+            serve_connection(stream, engine);
+        }
+    }
+}
+
+/// Reads one bounded request, routes it, writes one response. All I/O
+/// errors end the connection silently — the scraper retries.
+fn serve_connection(mut stream: TcpStream, engine: &ServeEngine) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(path) = read_request_path(&mut stream) else {
+        let _ = write_response(&mut stream, 400, "text/plain", "bad request\n");
+        return;
+    };
+    let (status, ctype, body) = respond(engine, &path);
+    let _ = write_response(&mut stream, status, ctype, &body);
+}
+
+/// Builds the response for one routed path.
+fn respond(engine: &ServeEngine, path: &str) -> (u16, &'static str, String) {
+    match path {
+        "/metrics" => {
+            // Refresh the serve.stats.* gauges so the exposition agrees
+            // with the engine's atomics at scrape time.
+            let _ = engine.stats();
+            (200, "text/plain; version=0.0.4", qdgnn_obs::snapshot().to_prometheus())
+        }
+        "/healthz" => {
+            let stats = engine.stats();
+            let depth = engine.queue_depth();
+            let verdict = if stats.degraded { "degraded" } else { "ok" };
+            let code = if stats.degraded { 503 } else { 200 };
+            let body = format!(
+                "{{\"status\":\"{verdict}\",\"degraded\":{},\"queue_depth\":{depth},\
+                 \"shed_admission\":{},\"shed_deadline\":{},\"worker_panics\":{},\
+                 \"breaker_trips\":{}}}\n",
+                stats.degraded,
+                stats.shed_admission,
+                stats.shed_deadline,
+                stats.worker_panics,
+                stats.breaker_trips,
+            );
+            (code, "application/json", body)
+        }
+        "/traces" => {
+            let mut body = String::new();
+            for t in engine.exemplars() {
+                body.push_str(&t.to_json());
+                body.push('\n');
+            }
+            (200, "application/x-ndjson", body)
+        }
+        _ => (404, "text/plain", "not found; try /metrics, /healthz or /traces\n".to_string()),
+    }
+}
+
+/// Reads until the first line is complete (or the byte cap / timeout
+/// hits) and returns the GET path, query string stripped. `None` for
+/// anything that is not a well-formed GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 512];
+    while buf.len() < MAX_REQUEST_BYTES && !buf.contains(&b'\n') {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(chunk.get(..n)?);
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let mut parts = text.lines().next()?.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let path = parts.next()?;
+    Some(path.split('?').next()?.to_string())
+}
+
+/// Writes one complete HTTP/1.0 response.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    ctype: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {ctype}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use qdgnn_core::{AqdGnn, CsModel, GraphTensors, ModelConfig, OnlineStage};
+    use qdgnn_data::{presets, queries as qgen, AttrMode};
+    use qdgnn_graph::attributed::AdjNorm;
+
+    fn engine() -> (Arc<ServeEngine>, Vec<qdgnn_data::Query>) {
+        let data = presets::toy();
+        let t = Arc::new(GraphTensors::new(&data.graph, AdjNorm::GcnSym, 100));
+        let queries = qgen::generate(&data, 8, 1, 2, AttrMode::FromCommunity, 7);
+        let model: Arc<dyn CsModel> = Arc::new(AqdGnn::new(ModelConfig::fast(), t.d));
+        let stage = OnlineStage::new_shared(model, t, 0.5);
+        let engine = ServeEngine::new(
+            stage,
+            ServeConfig { max_batch: 4, max_wait_us: 200, ..ServeConfig::default() },
+        )
+        .expect("engine must start");
+        (Arc::new(engine), queries)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .expect("request written");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("response read");
+        out
+    }
+
+    #[test]
+    fn endpoints_serve_health_metrics_and_traces() {
+        let (engine, queries) = engine();
+        for q in queries.iter().take(3) {
+            let _ = engine.query_blocking(q.clone());
+        }
+        let mut server =
+            TelemetryServer::start(Arc::clone(&engine), "127.0.0.1:0").expect("server must start");
+        let addr = server.addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "healthy engine must answer 200: {health}");
+        assert!(health.contains("\"status\":\"ok\"") && health.contains("\"queue_depth\":"));
+
+        let traces = get(addr, "/traces");
+        assert!(traces.starts_with("HTTP/1.0 200"));
+        assert!(
+            traces.contains("\"type\":\"request_trace\""),
+            "served queries must leave exemplar traces: {traces}"
+        );
+        assert!(traces.contains("\"outcome\":\"answered\""));
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200"));
+        if qdgnn_obs::enabled() {
+            assert!(
+                metrics.contains("qdgnn_serve_request"),
+                "labeled request series missing from exposition: {metrics}"
+            );
+        }
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+
+        let bad = {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").expect("request written");
+            let mut out = String::new();
+            stream.read_to_string(&mut out).expect("response read");
+            out
+        };
+        assert!(bad.starts_with("HTTP/1.0 400"), "non-GET must be rejected: {bad}");
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+        engine.shutdown();
+    }
+}

@@ -67,8 +67,12 @@ pub mod batcher;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod http;
+pub mod trace;
 
 pub use batcher::{BatchDecision, BatchPolicy};
 pub use config::ServeConfig;
 pub use engine::{EngineStats, Pending, ServeEngine};
 pub use error::ServeError;
+pub use http::TelemetryServer;
+pub use trace::{ExemplarRing, RequestTrace, TraceOutcome};

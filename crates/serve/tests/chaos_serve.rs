@@ -347,3 +347,81 @@ fn shed_accounting_matches_obs_counters_when_enabled() {
     }
     engine.shutdown();
 }
+
+/// A request whose batch dies mid-forward still gets a **complete**
+/// request trace: outcome `worker_panicked`, the queue wait it actually
+/// paid (stamped at flush, before the panic), its batch size and
+/// position, and the phase identity intact — plus the labeled metric
+/// mirror when obs rides along.
+#[test]
+fn worker_panic_yields_complete_traces_with_panicked_outcome() {
+    use qdgnn_serve::TraceOutcome;
+
+    let _guard = chaos_lock();
+    faultless::reset_serve_calls();
+    // max_batch above the submitted pair: the flush is released by the
+    // max_wait crossing, so the stamped queue wait is exactly the fake
+    // clock advance.
+    let (engine, clock) = engine_with_fake_clock(ServeConfig {
+        max_batch: 4,
+        max_wait_us: 100,
+        queue_capacity: 16,
+        workers: 1,
+        panic_threshold: 5,
+        ..ServeConfig::default()
+    });
+    let (_, queries) = stage_and_queries();
+    let before_panicked = qdgnn_obs::snapshot()
+        .counter("serve.request{outcome=\"worker_panicked\"}")
+        .unwrap_or(0);
+    faultless::inject_serve_fault_at_call(1, ServeFault::PanicInForward);
+    let doomed: Vec<Pending> = queries
+        .iter()
+        .take(2)
+        .map(|q| {
+            engine
+                .submit_labeled(q.clone(), Some("acme"), None)
+                .expect("queue has room")
+        })
+        .collect();
+    clock.advance_micros(200); // cross max_wait: flush the doomed pair
+    for reply in wait_all(doomed) {
+        assert!(matches!(reply, Err(ServeError::WorkerPanicked)));
+    }
+    // Replies are sent after the traces are recorded, so the exemplars
+    // are already complete here.
+    let mut seen = std::collections::BTreeSet::new();
+    let panicked: Vec<_> = engine
+        .exemplars()
+        .into_iter()
+        .filter(|t| t.outcome == TraceOutcome::WorkerPanicked && seen.insert(t.request_id))
+        .collect();
+    assert_eq!(panicked.len(), 2, "both co-batched requests must leave panicked traces");
+    let mut positions: Vec<u64> = panicked.iter().map(|t| t.batch_position).collect();
+    positions.sort_unstable();
+    assert_eq!(positions, vec![0, 1]);
+    for t in &panicked {
+        assert_eq!(t.batch_size, 2, "the dying batch's size must be attributed");
+        assert_eq!(t.queue_wait_us, 200, "queue wait was stamped at flush, before the panic");
+        assert_eq!(t.batch_share_us, 0, "a dead forward pass is unattributable");
+        assert_eq!(t.bfs_us, 0);
+        assert_eq!(t.span_us, 200);
+        assert_eq!(
+            t.queue_wait_us + t.batch_share_us + t.bfs_us + t.overhead_us,
+            t.span_us,
+            "the phase identity must survive a panic: {t:?}"
+        );
+        assert_eq!(t.tenant.as_deref(), Some("acme"));
+    }
+    if qdgnn_obs::enabled() {
+        let after = qdgnn_obs::snapshot();
+        assert_eq!(
+            after.counter("serve.request{outcome=\"worker_panicked\"}").unwrap_or(0)
+                - before_panicked,
+            2,
+            "the labeled outcome counter must agree with the exemplar traces"
+        );
+    }
+    assert_eq!(engine.stats().worker_panics, 1);
+    engine.shutdown();
+}

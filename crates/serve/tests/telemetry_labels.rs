@@ -1,0 +1,45 @@
+//! Label-cardinality containment for the per-tenant serving series.
+//!
+//! Own integration binary on purpose: this test deliberately floods one
+//! base metric past `MAX_LABEL_SETS`, and the obs registry is
+//! process-global — the flood must not leak into the exact-count
+//! assertions of the acceptance suite.
+
+#[test]
+fn tenant_label_cardinality_is_capped_not_unbounded() {
+    if !qdgnn_obs::enabled() {
+        return;
+    }
+    // Hammer one base name with far more tenants than MAX_LABEL_SETS:
+    // the registry must collapse the excess into the overflow series
+    // instead of growing without bound (a hostile or buggy caller
+    // interpolating request ids into the tenant label must not OOM the
+    // registry).
+    let n = qdgnn_obs::MAX_LABEL_SETS + 40;
+    for i in 0..n {
+        let tenant = format!("tenant-{i}");
+        qdgnn_obs::counter_with(
+            "serve.tenant_request",
+            &[("tenant", tenant.as_str()), ("outcome", "answered")],
+        )
+        .inc();
+    }
+    let snap = qdgnn_obs::snapshot();
+    let series = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve.tenant_request{"))
+        .count();
+    assert!(
+        series <= qdgnn_obs::MAX_LABEL_SETS + 1,
+        "label sets must be capped (got {series} series)"
+    );
+    let overflow = snap.counter("serve.tenant_request{overflow=\"true\"}").unwrap_or(0);
+    assert!(overflow > 0, "excess label sets must collapse into the overflow series");
+    assert!(
+        snap.counter("obs.labels_dropped").unwrap_or(0) > 0,
+        "dropped label sets must be visible in obs.labels_dropped"
+    );
+    // The overflow series still renders in the exposition.
+    assert!(snap.to_prometheus().contains("qdgnn_serve_tenant_request{overflow=\"true\"}"));
+}
