@@ -547,8 +547,8 @@ pub fn qd008(sf: &SourceFile) -> Vec<Finding> {
 /// Recorder functions whose first string-literal argument is a metric
 /// name subject to the QD013 catalog (`span` is the macro form).
 const QD013_RECORDERS: &[&str] = &[
-    "counter", "counter_with", "event", "gauge", "observe", "observe_with", "op_timer", "span",
-    "trace",
+    "counter", "counter_with", "event", "flight_event", "gauge", "observe", "observe_with",
+    "op_timer", "series_observe", "span", "trace",
 ];
 
 /// All string literals on one source line, in order. The lexer drops
@@ -597,8 +597,9 @@ fn qd013_catalog(nf: &SourceFile) -> std::collections::BTreeSet<String> {
 }
 
 /// QD013: every metric-name literal handed to a recorder
-/// (`counter`/`gauge`/`observe`/`event`/`trace`/`op_timer`/`span!` and
-/// the `_with` variants) must appear in the checked-in catalog
+/// (`counter`/`gauge`/`observe`/`event`/`trace`/`op_timer`/`span!`, the
+/// `_with` variants, and the run-registry forms
+/// `series_observe`/`flight_event`) must appear in the checked-in catalog
 /// (`crates/obs/src/names.rs`). Cross-file: needs the catalog source,
 /// so it runs from [`crate::analyze_sources`], not [`check_file`].
 /// Method calls (`snap.counter(…)` lookups), test code, files outside
@@ -1490,6 +1491,18 @@ fn scoped(s: &Shared, rx: &Receiver<u8>) {
             "must name the metric literal, not a label: {}",
             f[0].message
         );
+    }
+
+    #[test]
+    fn qd013_covers_run_registry_recorders() {
+        let bad = SourceFile::scan(
+            "crates/core/src/train.rs",
+            "fn f() {\n    qdgnn_obs::runs::series_observe(\"train.rogue\", 0, 1.0);\n    qdgnn_obs::runs::flight_event(\"serve.good\", &[]);\n}\n",
+        );
+        let f = qd013(&[qd013_names_file(), bad]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("train.rogue"), "{}", f[0].message);
+        assert!(f[0].message.contains("series_observe"), "{}", f[0].message);
     }
 
     #[test]

@@ -10,10 +10,12 @@
 
 use crate::report::{ServeReport, TrainBenchReport};
 
-/// Best-round ratio above this fails the gate.
-pub const FAIL_RATIO: f64 = 1.25;
+/// Best-round ratio above this fails the gate. The canonical constant
+/// lives in `qdgnn_obs::series` so `qdgnn-obs-runs diff` and this gate
+/// judge "regression" identically.
+pub const FAIL_RATIO: f64 = qdgnn_obs::series::FAIL_RATIO;
 /// Best-round ratio above this (but at most [`FAIL_RATIO`]) warns.
-pub const WARN_RATIO: f64 = 1.10;
+pub const WARN_RATIO: f64 = qdgnn_obs::series::WARN_RATIO;
 
 /// Outcome of one gated metric (ordered by severity).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]

@@ -275,6 +275,15 @@ pub(crate) fn run_training_from<M: CsModel>(
             skipped_steps = 0;
         }
     }
+    // Run-registry journal: a resumed run's recorder starts as a copy of
+    // the parent's journal; truncating at the resume epoch and replaying
+    // from there leaves `series.ndjson` byte-identical to an
+    // uninterrupted run's (riding on epoch-order determinism). All
+    // per-epoch series below use the loop's `epoch` index as the step,
+    // so everything at or after the resume point is replayed exactly.
+    if start_epoch > 0 {
+        qdgnn_obs::runs::series_truncate_from(start_epoch as u64);
+    }
     let mut epochs_run = start_epoch;
     let mut diverged = false;
     let mut checkpoint_write_failures = 0usize;
@@ -369,6 +378,8 @@ pub(crate) fn run_training_from<M: CsModel>(
         );
         qdgnn_obs::gauge("train.loss").set(mean as f64);
         qdgnn_obs::gauge("train.lr").set(opt.lr() as f64);
+        qdgnn_obs::runs::series_observe("train.loss", epoch as u64, mean as f64);
+        qdgnn_obs::runs::series_observe("train.lr", epoch as u64, opt.lr() as f64);
 
         // Divergence detection: roll back to the last good epoch with a
         // halved learning rate rather than letting a blown-up run burn
@@ -392,6 +403,19 @@ pub(crate) fn run_training_from<M: CsModel>(
                     ("lr", opt.lr() as f64),
                 ],
             );
+            // A rollback is exactly the moment the flight recorder is
+            // for: note it in the ring and flush the recent history so a
+            // later crash (or a post-mortem) can see the lead-up.
+            qdgnn_obs::runs::flight_event(
+                "train.divergence_rollback",
+                &[
+                    ("epoch", epoch as f64),
+                    ("recoveries", recoveries as f64),
+                    ("loss", mean as f64),
+                    ("lr", opt.lr() as f64),
+                ],
+            );
+            qdgnn_obs::runs::flight_flush();
             continue;
         }
         good = (model.checkpoint(), opt.state());
@@ -404,6 +428,8 @@ pub(crate) fn run_training_from<M: CsModel>(
                     "train.validate",
                     &[("epoch", (epoch + 1) as f64), ("f1", f1), ("gamma", gamma as f64)],
                 );
+                qdgnn_obs::runs::series_observe("train.val_f1", epoch as u64, f1);
+                qdgnn_obs::runs::series_observe("train.val_gamma", epoch as u64, gamma as f64);
                 if f1 > best.0 {
                     best = (f1, gamma, Some(model.checkpoint()));
                     stale_validations = 0;
@@ -445,6 +471,10 @@ pub(crate) fn run_training_from<M: CsModel>(
                             "train.checkpoint_write_failed",
                             &[("epoch", (epoch + 1) as f64)],
                         );
+                        qdgnn_obs::runs::flight_event(
+                            "train.checkpoint_write_failed",
+                            &[("epoch", (epoch + 1) as f64)],
+                        );
                     }
                 }
             }
@@ -466,6 +496,18 @@ pub(crate) fn run_training_from<M: CsModel>(
         checkpoint_write_failures,
         diverged,
     };
+    // Mirror the report's terminal fields as gauges so a scrape after
+    // training sees the same numbers the report prints (the serving
+    // engine does the same with its `EngineStats`).
+    qdgnn_obs::gauge("train.report.epochs_run").set(report.epochs_run as f64);
+    qdgnn_obs::gauge("train.report.best_val_f1").set(report.best_val_f1);
+    qdgnn_obs::gauge("train.report.best_gamma").set(report.best_gamma as f64);
+    qdgnn_obs::gauge("train.report.train_seconds").set(report.train_seconds);
+    qdgnn_obs::gauge("train.report.skipped_steps").set(report.skipped_steps as f64);
+    qdgnn_obs::gauge("train.report.recoveries").set(report.recoveries as f64);
+    qdgnn_obs::gauge("train.report.checkpoint_write_failures")
+        .set(report.checkpoint_write_failures as f64);
+    qdgnn_obs::gauge("train.report.diverged").set(f64::from(u8::from(report.diverged)));
     TrainedModel { model, gamma: best.1, report }
 }
 

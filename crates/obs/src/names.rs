@@ -21,6 +21,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "mem.peak_bytes",
     "obs.events_dropped",
     "obs.labels_dropped",
+    "obs.series_dropped",
     "serve.batch_size",
     "serve.bfs",
     "serve.breaker_trips",
@@ -80,7 +81,17 @@ pub const METRIC_NAMES: &[&str] = &[
     "train.grad_norm",
     "train.loss",
     "train.lr",
+    "train.report.best_gamma",
+    "train.report.best_val_f1",
+    "train.report.checkpoint_write_failures",
+    "train.report.diverged",
+    "train.report.epochs_run",
+    "train.report.recoveries",
+    "train.report.skipped_steps",
+    "train.report.train_seconds",
     "train.step_skipped",
+    "train.val_f1",
+    "train.val_gamma",
     "train.validate",
 ];
 

@@ -1,0 +1,52 @@
+//! The checked-in run fixtures under `tests/fixtures/runs/` are the
+//! regression contract for `qdgnn-obs-runs diff`: run-000001 is the
+//! baseline, run-000002 a seeded ×2 final-loss regression. CI runs the
+//! binary over the same fixtures and requires a nonzero exit.
+
+use std::path::PathBuf;
+
+use qdgnn_obs::runs::{list_runs, RunManifest};
+use qdgnn_obs::series::{self, DiffVerdict, SeriesStore};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runs")
+}
+
+fn load(id: &str) -> SeriesStore {
+    let path = fixture_root().join(id).join("series.ndjson");
+    let text = std::fs::read_to_string(&path).expect("fixture journal");
+    SeriesStore::from_ndjson(&text).expect("fixture journal validator-clean")
+}
+
+#[test]
+fn fixture_runs_are_schema_valid() {
+    let runs = list_runs(&fixture_root());
+    assert_eq!(
+        runs.iter().map(|(id, _)| id.as_str()).collect::<Vec<_>>(),
+        ["run-000001", "run-000002"]
+    );
+    for (id, dir) in runs {
+        let text = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let m = RunManifest::from_json(text.trim()).expect("fixture manifest parses");
+        assert_eq!(m.id, id);
+        load(&id);
+    }
+}
+
+#[test]
+fn seeded_regression_fixture_fails_the_diff_gate() {
+    let base = load("run-000001");
+    let diffs = series::diff_stores(&base, &load("run-000002"));
+    assert_eq!(series::overall(&diffs), DiffVerdict::Fail, "{diffs:?}");
+    // The failure is the loss regression specifically; the flat val-F1
+    // series stays within the noise band.
+    let loss = diffs.iter().find(|d| d.series == "train.loss").unwrap();
+    assert_eq!(loss.verdict, DiffVerdict::Fail);
+    assert!(loss.ratio > series::FAIL_RATIO, "{loss:?}");
+    let f1 = diffs.iter().find(|d| d.series == "train.val_f1").unwrap();
+    assert!(f1.verdict <= DiffVerdict::Pass, "{f1:?}");
+
+    // And the baseline gates itself clean.
+    let self_diffs = series::diff_stores(&base, &base);
+    assert!(series::overall(&self_diffs) <= DiffVerdict::Pass, "{self_diffs:?}");
+}

@@ -1,0 +1,84 @@
+//! End-to-end run-registry scenarios that need exclusive ownership of
+//! the process-global wall clock and run sink — kept out of the unit
+//! tests so nothing races the registry's own clock-injection tests.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use qdgnn_obs::clock::{self, FakeClock};
+use qdgnn_obs::runs::{self, RunManifest, RunRecorder};
+use qdgnn_obs::series::SeriesStore;
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdgnn-runreg-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp run root");
+    dir
+}
+
+#[test]
+fn manifests_are_fake_clock_deterministic() {
+    let _g = global_lock();
+    let root = tmp_root("clock");
+    let fake = Arc::new(FakeClock::new());
+    fake.set_micros(1_000);
+    clock::set_wall(Arc::clone(&fake) as Arc<dyn clock::Clock>);
+
+    let parent = RunRecorder::create(&root, 42, "toy", "cfg-hash").unwrap();
+    assert_eq!(parent.manifest().start_us, 1_000);
+    for step in 0..4u64 {
+        parent.record_point("train.loss", step, 1.0 / (step + 1) as f64).unwrap();
+    }
+
+    fake.set_micros(9_000);
+    let child = RunRecorder::resume(&root, parent.id()).unwrap();
+    assert_eq!(child.manifest().start_us, 9_000);
+    assert_eq!(child.manifest().resumed_from.as_deref(), Some(parent.id()));
+
+    // The manifest on disk round-trips with the deterministic timestamp.
+    let on_disk = fs::read_to_string(child.dir().join("manifest.json")).unwrap();
+    let parsed = RunManifest::from_json(on_disk.trim()).unwrap();
+    assert_eq!(&parsed, child.manifest());
+
+    // Flight events are also stamped from the fake clock.
+    fake.set_micros(9_500);
+    child.flight_event("train.divergence_rollback", &[("epoch", 2.0)]);
+    child.flush_flight().unwrap();
+    let flight = fs::read_to_string(child.dir().join("flight.ndjson")).unwrap();
+    assert!(flight.contains("\"t_us\":9500"), "{flight}");
+
+    clock::set_wall(Arc::new(clock::MonotonicClock::new()));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sink_panic_hook_flushes_flight_on_unwind() {
+    let _g = global_lock();
+    let root = tmp_root("hook");
+    let rec = Arc::new(RunRecorder::create(&root, 7, "toy", "h").unwrap());
+    runs::install(Arc::clone(&rec));
+    runs::install_panic_flush();
+    runs::series_observe("train.loss", 0, 0.9);
+    runs::flight_event("train.epoch", &[("epoch", 0.0)]);
+
+    let flight_path = rec.dir().join("flight.ndjson");
+    assert!(!flight_path.exists(), "no flush before the panic");
+    let result = std::panic::catch_unwind(|| panic!("chaos: mid-epoch crash"));
+    assert!(result.is_err());
+
+    let text = fs::read_to_string(&flight_path).expect("panic hook must flush the flight ring");
+    assert!(text.contains("\"series\":\"train.loss\""), "{text}");
+    assert!(text.contains("\"name\":\"train.epoch\""), "{text}");
+    // Journal survives and stays validator-clean.
+    let journal = fs::read_to_string(rec.dir().join("series.ndjson")).unwrap();
+    SeriesStore::from_ndjson(&journal).expect("journal must stay parseable after a crash");
+
+    runs::uninstall();
+    let _ = fs::remove_dir_all(&root);
+}

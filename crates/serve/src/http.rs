@@ -1,9 +1,8 @@
 //! A dependency-free telemetry endpoint for the serving engine.
 //!
-//! [`TelemetryServer::start`] binds a TCP listener and serves three
-//! read-only views over HTTP/1.0 from a single dedicated thread,
-//! completely isolated from the worker pool (a slow or hostile scraper
-//! can never stall a query):
+//! [`TelemetryServer::start`] serves three read-only views over
+//! HTTP/1.0, completely isolated from the worker pool (a slow or
+//! hostile scraper can never stall a query):
 //!
 //! * `GET /metrics` — the obs registry snapshot in Prometheus text
 //!   exposition format (labeled series included). The engine's stats
@@ -16,36 +15,25 @@
 //!   recently shed request traces) as JSONL, one
 //!   [`RequestTrace`](crate::trace::RequestTrace) per line.
 //!
-//! The protocol surface is deliberately tiny: GET only, bounded request
-//! read, per-connection read/write timeouts, `Connection: close` on
-//! every response. Shutdown flips a flag and unblocks the accept loop
-//! with a throwaway self-connection, then joins the thread.
+//! The socket machinery (GET-only parsing, bounded reads, timeouts,
+//! single-thread accept loop, self-connect shutdown) lives in the shared
+//! [`qdgnn_obs::httpd`] listener — the same server that backs the
+//! training-run dashboard — so this module is only the engine-specific
+//! routing.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
+
+use qdgnn_obs::httpd::{HttpServer, Response};
 
 use crate::engine::ServeEngine;
 use crate::error::ServeError;
-
-/// Upper bound on one request's bytes; requests are GET-with-no-body,
-/// so anything longer is garbage and gets a 400.
-const MAX_REQUEST_BYTES: usize = 4096;
-
-/// Per-connection read/write timeout: a stalled scraper is disconnected
-/// rather than pinning the listener thread.
-const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Handle to a running telemetry listener. Shuts down on `Drop` (or
 /// explicitly via [`TelemetryServer::shutdown`]); dropping the handle
 /// never affects the serving engine itself.
 pub struct TelemetryServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    server: HttpServer,
 }
 
 impl TelemetryServer {
@@ -53,77 +41,27 @@ impl TelemetryServer {
     /// port, readable back via [`TelemetryServer::addr`]) and starts the
     /// listener thread serving telemetry for `engine`.
     pub fn start(engine: Arc<ServeEngine>, addr: &str) -> Result<TelemetryServer, ServeError> {
-        let listener = TcpListener::bind(addr)
-            .map_err(|e| ServeError::Telemetry(format!("bind {addr}: {e}")))?;
-        let local = listener
-            .local_addr()
-            .map_err(|e| ServeError::Telemetry(format!("local_addr: {e}")))?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let handle = std::thread::Builder::new()
-            .name("qdgnn-telemetry".into())
-            .spawn(move || accept_loop(&listener, &engine, &flag))
-            .map_err(|e| ServeError::Telemetry(format!("spawn listener thread: {e}")))?;
-        Ok(TelemetryServer { addr: local, shutdown, handle: Some(handle) })
+        let server = HttpServer::start(addr, "qdgnn-telemetry", move |path| {
+            respond(&engine, path)
+        })
+        .map_err(|e| ServeError::Telemetry(format!("bind {addr}: {e}")))?;
+        Ok(TelemetryServer { server })
     }
 
     /// The bound address (resolves port `0` to the actual port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.server.addr()
     }
 
     /// Stops the listener: flips the shutdown flag, unblocks the accept
     /// loop with a self-connection, and joins the thread. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.handle.is_none() {
-            return;
-        }
-        self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop re-checks the flag after every accept; this
-        // throwaway connection guarantees one more wake-up.
-        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+        self.server.shutdown();
     }
-}
-
-impl Drop for TelemetryServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-/// Accepts connections until the shutdown flag flips. Connections are
-/// served inline — telemetry traffic is a scraper every few seconds,
-/// not a request flood, and one thread keeps the surface minimal.
-fn accept_loop(listener: &TcpListener, engine: &Arc<ServeEngine>, shutdown: &AtomicBool) {
-    loop {
-        let conn = listener.accept();
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        if let Ok((stream, _peer)) = conn {
-            serve_connection(stream, engine);
-        }
-    }
-}
-
-/// Reads one bounded request, routes it, writes one response. All I/O
-/// errors end the connection silently — the scraper retries.
-fn serve_connection(mut stream: TcpStream, engine: &ServeEngine) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some(path) = read_request_path(&mut stream) else {
-        let _ = write_response(&mut stream, 400, "text/plain", "bad request\n");
-        return;
-    };
-    let (status, ctype, body) = respond(engine, &path);
-    let _ = write_response(&mut stream, status, ctype, &body);
 }
 
 /// Builds the response for one routed path.
-fn respond(engine: &ServeEngine, path: &str) -> (u16, &'static str, String) {
+fn respond(engine: &ServeEngine, path: &str) -> Response {
     match path {
         "/metrics" => {
             // Refresh the serve.stats.* gauges so the exposition agrees
@@ -160,52 +98,6 @@ fn respond(engine: &ServeEngine, path: &str) -> (u16, &'static str, String) {
     }
 }
 
-/// Reads until the first line is complete (or the byte cap / timeout
-/// hits) and returns the GET path, query string stripped. `None` for
-/// anything that is not a well-formed GET.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 512];
-    while buf.len() < MAX_REQUEST_BYTES && !buf.contains(&b'\n') {
-        let n = stream.read(&mut chunk).ok()?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(chunk.get(..n)?);
-    }
-    let text = String::from_utf8_lossy(&buf);
-    let mut parts = text.lines().next()?.split_whitespace();
-    if parts.next()? != "GET" {
-        return None;
-    }
-    let path = parts.next()?;
-    Some(path.split('?').next()?.to_string())
-}
-
-/// Writes one complete HTTP/1.0 response.
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    ctype: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        503 => "Service Unavailable",
-        _ => "Error",
-    };
-    let head = format!(
-        "HTTP/1.0 {status} {reason}\r\nContent-Type: {ctype}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +105,8 @@ mod tests {
     use qdgnn_core::{AqdGnn, CsModel, GraphTensors, ModelConfig, OnlineStage};
     use qdgnn_data::{presets, queries as qgen, AttrMode};
     use qdgnn_graph::attributed::AdjNorm;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn engine() -> (Arc<ServeEngine>, Vec<qdgnn_data::Query>) {
         let data = presets::toy();

@@ -124,6 +124,41 @@ fn train_seconds_follows_injected_wall_clock() {
     );
 }
 
+/// The terminal `TrainReport` fields are mirrored as `train.report.*`
+/// gauges at report time, so a metrics scrape (or `--metrics-out` file)
+/// carries the run outcome without parsing stdout.
+#[test]
+fn train_report_fields_are_mirrored_as_gauges() {
+    if !qdgnn_obs::enabled() {
+        return; // plain build: nothing is recorded, by design
+    }
+    let _l = obs_lock();
+    qdgnn_obs::reset();
+    let (tensors, split) = toy_split();
+    let trained = Trainer::new(TrainConfig { epochs: 3, ..TrainConfig::fast() }).train(
+        AqdGnn::new(ModelConfig::fast(), tensors.d),
+        &tensors,
+        &split.train,
+        &split.val,
+    );
+    let snap = qdgnn_obs::snapshot();
+    let gauge =
+        |n: &str| snap.gauge(n).unwrap_or_else(|| panic!("gauge {n} must be recorded"));
+    let r = &trained.report;
+    assert_eq!(gauge("train.report.epochs_run"), r.epochs_run as f64);
+    assert_eq!(gauge("train.report.best_val_f1"), r.best_val_f1);
+    assert_eq!(gauge("train.report.best_gamma"), f64::from(r.best_gamma));
+    assert_eq!(gauge("train.report.train_seconds"), r.train_seconds);
+    assert_eq!(gauge("train.report.skipped_steps"), r.skipped_steps as f64);
+    assert_eq!(gauge("train.report.recoveries"), r.recoveries as f64);
+    assert_eq!(
+        gauge("train.report.checkpoint_write_failures"),
+        r.checkpoint_write_failures as f64
+    );
+    assert_eq!(gauge("train.report.diverged"), f64::from(u8::from(r.diverged)));
+    qdgnn_obs::reset();
+}
+
 /// Serving one query must produce the serve.encode / serve.forward /
 /// serve.bfs breakdown nested under serve.query, plus the counters and
 /// size histograms the docs promise — and the stream must survive a
